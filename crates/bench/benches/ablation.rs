@@ -1,0 +1,62 @@
+//! Ablation of the four ME-HPT techniques (DESIGN.md's design-choice
+//! index): each variant toggles one dimension of the design; the table
+//! shows what each technique buys in peak memory, contiguity and runtime.
+//!
+//! This also reproduces Section VII-D's argument emergently: without
+//! in-place + per-way resizing, GUPS's L2P subtables overflow and the
+//! design is forced onto 8MB chunks.
+
+use bench::{run, RunKey, Variant};
+use mehpt_sim::PtKind;
+use mehpt_workloads::App;
+
+fn main() {
+    bench::announce(
+        "Ablation: each ME-HPT technique toggled independently",
+        "Section VII-D and Figure 10's mechanism",
+    );
+    for app in [App::Gups, App::Bfs, App::Mummer] {
+        println!("\n--- {} (no THP) ---", app.name());
+        println!(
+            "{:<22} | {:>10} {:>10} {:>10} {:>8}",
+            "variant", "peak PT", "contig", "cycles(G)", "switches"
+        );
+        println!("{}", "-".repeat(70));
+        let ecpt = run(&RunKey::paper(app, PtKind::Ecpt, false));
+        println!(
+            "{:<22} | {:>10} {:>10} {:>10.2} {:>8}",
+            "ECPT baseline",
+            bench::fmt_bytes(ecpt.pt_peak_bytes),
+            bench::fmt_bytes(ecpt.pt_max_contiguous),
+            ecpt.total_cycles as f64 / 1e9,
+            "-"
+        );
+        for (label, variant) in [
+            ("ME-HPT full", Variant::Full),
+            ("  - in-place resizing", Variant::NoInPlace),
+            ("  - per-way resizing", Variant::NoPerWay),
+            ("  - both", Variant::Neither),
+            ("  1MB-only chunks", Variant::Fixed1Mb),
+        ] {
+            let r = run(&RunKey {
+                app,
+                kind: PtKind::MeHpt,
+                thp: false,
+                variant,
+                graph_nodes: 1_000_000,
+            });
+            println!(
+                "{:<22} | {:>10} {:>10} {:>10.2} {:>8}",
+                label,
+                bench::fmt_bytes(r.pt_peak_bytes),
+                bench::fmt_bytes(r.pt_max_contiguous),
+                r.total_cycles as f64 / 1e9,
+                r.chunk_switches
+            );
+        }
+    }
+    println!();
+    println!("Paper's Section VII-D: without the two size-reducing techniques,");
+    println!("GUPS/SysBench would need 288 L2P entries (> the 192 available for");
+    println!("one page size), forcing 8MB chunks; with them, 1MB chunks suffice.");
+}

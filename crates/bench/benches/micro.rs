@@ -1,0 +1,164 @@
+//! Criterion micro-benchmarks: the latency of the core operations —
+//! elastic-cuckoo inserts/lookups across resize modes, buddy allocation,
+//! and timed page walks over the three page-table organizations.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mehpt_core::MeHpt;
+use mehpt_ecpt::{Ecpt, EcptWalker};
+use mehpt_hash::{Config, ElasticCuckooTable, ResizeMode, WaySizing};
+use mehpt_mem::{AllocCostModel, AllocTag, PhysMem};
+use mehpt_radix::{RadixPageTable, RadixWalker};
+use mehpt_tlb::MemoryModel;
+use mehpt_types::{PageSize, Ppn, VirtAddr, Vpn, GIB, MIB};
+
+fn mem() -> PhysMem {
+    PhysMem::with_cost_model(GIB, AllocCostModel::zero_cost())
+}
+
+fn bench_cuckoo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elastic_cuckoo");
+    group.sample_size(20);
+    for (name, mode, sizing) in [
+        (
+            "insert/oop_allway",
+            ResizeMode::OutOfPlace,
+            WaySizing::AllWay,
+        ),
+        (
+            "insert/inplace_perway",
+            ResizeMode::InPlace,
+            WaySizing::PerWay,
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    ElasticCuckooTable::<u64, u64>::new(Config {
+                        resize_mode: mode,
+                        sizing,
+                        ..Config::default()
+                    })
+                },
+                |mut t| {
+                    for i in 0..20_000u64 {
+                        t.insert(i, i);
+                    }
+                    t
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.bench_function("lookup/inplace_perway", |b| {
+        let mut t = ElasticCuckooTable::<u64, u64>::new(Config {
+            resize_mode: ResizeMode::InPlace,
+            sizing: WaySizing::PerWay,
+            ..Config::default()
+        });
+        for i in 0..20_000u64 {
+            t.insert(i, i);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 7919) % 20_000;
+            std::hint::black_box(t.get(&k))
+        })
+    });
+    group.finish();
+}
+
+fn bench_buddy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phys_mem");
+    group.sample_size(20);
+    group.bench_function("alloc_free_4k", |b| {
+        let mut m = mem();
+        b.iter(|| {
+            let chunk = m.alloc(4096, AllocTag::Data).unwrap();
+            m.free(chunk);
+        })
+    });
+    group.bench_function("alloc_free_1m", |b| {
+        let mut m = mem();
+        b.iter(|| {
+            let chunk = m.alloc(MIB, AllocTag::PageTable).unwrap();
+            m.free(chunk);
+        })
+    });
+    group.finish();
+}
+
+fn bench_walks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("page_walk");
+    group.sample_size(20);
+    const PAGES: u64 = 50_000;
+
+    // Radix.
+    let mut m = mem();
+    let mut radix = RadixPageTable::new(&mut m).unwrap();
+    for i in 0..PAGES {
+        radix
+            .map(Vpn(i * 7), PageSize::Base4K, Ppn(i), &mut m)
+            .unwrap();
+    }
+    group.bench_function("radix", |b| {
+        let mut walker = RadixWalker::paper_default();
+        let mut dram = MemoryModel::paper_default();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 13) % PAGES;
+            std::hint::black_box(walker.walk(
+                &radix,
+                Vpn(i * 7).base_addr(PageSize::Base4K),
+                &mut dram,
+            ))
+        })
+    });
+
+    // ECPT.
+    let mut m = mem();
+    let mut ecpt = Ecpt::new(&mut m).unwrap();
+    for i in 0..PAGES {
+        ecpt.map(Vpn(i * 7), PageSize::Base4K, Ppn(i), &mut m)
+            .unwrap();
+    }
+    group.bench_function("ecpt", |b| {
+        let mut walker = EcptWalker::paper_default();
+        let mut dram = MemoryModel::paper_default();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 13) % PAGES;
+            std::hint::black_box(walker.walk(
+                &ecpt,
+                Vpn(i * 7).base_addr(PageSize::Base4K),
+                &mut dram,
+            ))
+        })
+    });
+
+    // ME-HPT.
+    let mut m = mem();
+    let mut mehpt = MeHpt::new(&mut m).unwrap();
+    for i in 0..PAGES {
+        mehpt
+            .map(Vpn(i * 7), PageSize::Base4K, Ppn(i), &mut m)
+            .unwrap();
+    }
+    group.bench_function("mehpt", |b| {
+        let mut walker = EcptWalker::paper_default();
+        let mut dram = MemoryModel::paper_default();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 13) % PAGES;
+            std::hint::black_box(walker.walk(
+                &mehpt,
+                Vpn(i * 7).base_addr(PageSize::Base4K),
+                &mut dram,
+            ))
+        })
+    });
+    let _ = VirtAddr::new(0);
+    group.finish();
+}
+
+criterion_group!(benches, bench_cuckoo, bench_buddy, bench_walks);
+criterion_main!(benches);

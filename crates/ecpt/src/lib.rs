@@ -1,0 +1,51 @@
+//! Elastic Cuckoo Page Tables (ECPT) — the state-of-the-art HPT baseline.
+//!
+//! This crate reproduces the design of Skarlatos et al. (ASPLOS'20), which
+//! the paper uses as its baseline (Section II-B, Table III):
+//!
+//! * one [`EcptTable`] per page size (4KB / 2MB / 1GB), each a 3-way cuckoo
+//!   hash table of **clustered entries** — one 64-byte entry holds the
+//!   translations of 8 contiguous pages (Yaniv & Tsafrir's page-table-entry
+//!   clustering), keyed by `VPN >> 3`;
+//! * each way stored in **one contiguous physical-memory chunk** — the
+//!   memory-contiguity problem ME-HPT solves: a way can grow to 64MB, and on
+//!   a fragmented machine that allocation is slow or impossible;
+//! * **gradual out-of-place resizing** with per-way rehash pointers: upsizes
+//!   above 0.6 occupancy, downsizes below 0.2, entries migrated as inserts
+//!   arrive; old and new tables coexist during the migration;
+//! * **Cuckoo Walk Tables** ([`Ecpt`] keeps per-region page-size masks) and
+//!   **Cuckoo Walk Caches** (in [`EcptWalker`]) that tell the hardware
+//!   walker which page size's table to probe, keeping a walk at one
+//!   (parallel) memory access in the common case.
+//!
+//! # Examples
+//!
+//! ```
+//! use mehpt_ecpt::Ecpt;
+//! use mehpt_mem::PhysMem;
+//! use mehpt_types::{PageSize, Ppn, VirtAddr, MIB};
+//!
+//! let mut mem = PhysMem::new(64 * MIB);
+//! let mut ecpt = Ecpt::new(&mut mem)?;
+//! let va = VirtAddr::new(0x7000_2000);
+//! ecpt.map(va.vpn(PageSize::Base4K), PageSize::Base4K, Ppn(99), &mut mem)?;
+//! assert_eq!(ecpt.translate(va), Some((Ppn(99), PageSize::Base4K)));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cwt;
+mod entry;
+mod process;
+mod table;
+mod view;
+mod walker;
+
+pub use cwt::CwtSet;
+pub use entry::{ClusterEntry, CLUSTER_PTES};
+pub use process::Ecpt;
+pub use table::{EcptConfig, EcptTable, InsertReport};
+pub use view::HptView;
+pub use walker::{EcptWalker, EcptWalkerConfig, HptWalkResult};

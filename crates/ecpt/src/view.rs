@@ -1,0 +1,24 @@
+use mehpt_types::{PageSize, PhysAddr, Ppn, VirtAddr, Vpn};
+
+/// What the hardware cuckoo walker needs from a hashed page table.
+///
+/// Implemented by the ECPT baseline ([`Ecpt`](crate::Ecpt)) and by ME-HPT
+/// (`mehpt_core::MeHpt`), so the same [`EcptWalker`](crate::EcptWalker)
+/// hardware model times walks over both designs — which is faithful to the
+/// paper: ME-HPT reuses the ECPT walker and hides its extra L2P access
+/// behind the CWC probe (Section V-D).
+pub trait HptView {
+    /// The page sizes mapped somewhere in `va`'s 1GB region
+    /// (bit 0 = 4KB, bit 1 = 2MB, bit 2 = 1GB), or `None` if untracked.
+    fn pud_mask(&self, va: VirtAddr) -> Option<u8>;
+
+    /// The page sizes mapped in `va`'s 2MB region (bits 0–1), or `None`.
+    fn pmd_mask(&self, va: VirtAddr) -> Option<u8>;
+
+    /// The physical addresses of the W way slots a walker probes for `vpn`
+    /// in the `ps` table, honoring in-flight resize state.
+    fn probe_addrs(&self, ps: PageSize, vpn: Vpn) -> Vec<PhysAddr>;
+
+    /// Functional translation (ground truth).
+    fn translate(&self, va: VirtAddr) -> Option<(Ppn, PageSize)>;
+}

@@ -1,0 +1,194 @@
+use mehpt_tlb::{MemoryModel, SetAssocCache};
+use mehpt_types::{PageSize, PhysAddr, Ppn, VirtAddr, PAGE_SIZES};
+
+use crate::process::size_bit;
+use crate::view::HptView;
+
+/// Synthetic physical base of the in-memory PUD-CWT, placed far above the
+/// modeled DRAM so CWT lines never alias page-table or data lines in the
+/// cache model.
+const PUD_CWT_BASE: u64 = 1 << 40;
+/// Synthetic physical base of the in-memory PMD-CWT.
+const PMD_CWT_BASE: u64 = 1 << 41;
+
+/// Configuration of the hardware cuckoo walker (Table III).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EcptWalkerConfig {
+    /// PMD-CWC capacity in entries.
+    pub pmd_cwc_entries: usize,
+    /// PUD-CWC capacity in entries.
+    pub pud_cwc_entries: usize,
+    /// CWC round-trip latency in cycles.
+    pub cwc_latency: u64,
+    /// CRC hash latency in cycles.
+    pub hash_latency: u64,
+    /// Extra serial latency per probe group, e.g. an L2P-table access that
+    /// could not be hidden. Zero for the ECPT baseline; ME-HPT sets it only
+    /// on paths where the CWC overlap cannot hide the L2P lookup.
+    pub extra_latency: u64,
+}
+
+impl Default for EcptWalkerConfig {
+    fn default() -> EcptWalkerConfig {
+        EcptWalkerConfig {
+            pmd_cwc_entries: 16,
+            pud_cwc_entries: 2,
+            cwc_latency: 4,
+            hash_latency: 2,
+            extra_latency: 0,
+        }
+    }
+}
+
+/// The outcome of one timed HPT walk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HptWalkResult {
+    /// The translation found, or `None` on a page fault.
+    pub translation: Option<(Ppn, PageSize)>,
+    /// Total walk latency in cycles.
+    pub cycles: u64,
+    /// Memory accesses performed (they run in parallel per probe group, so
+    /// latency is the max of each group, but every access occupies
+    /// bandwidth and cache state).
+    pub memory_accesses: u32,
+}
+
+/// The hardware walker for elastic cuckoo page tables.
+///
+/// On a TLB miss, the walker consults its Cuckoo Walk Caches to learn which
+/// page sizes exist in the faulting region, then probes the corresponding
+/// tables' ways *in parallel* — one memory-access latency in the common
+/// case, versus up to four dependent accesses for radix (Figure 7).
+///
+/// CWC entries mirror CWT state; the OS must call
+/// [`EcptWalker::invalidate_region`] when a mapping changes a region's
+/// page-size mask.
+#[derive(Clone, Debug)]
+pub struct EcptWalker {
+    pmd_cwc: SetAssocCache,
+    pud_cwc: SetAssocCache,
+    cfg: EcptWalkerConfig,
+    walks: u64,
+    total_cycles: u64,
+    total_accesses: u64,
+    cwt_walks: u64,
+}
+
+impl EcptWalker {
+    /// Builds the walker with Table III's CWC geometry.
+    pub fn paper_default() -> EcptWalker {
+        EcptWalker::new(EcptWalkerConfig::default())
+    }
+
+    /// Builds the walker from an explicit configuration.
+    pub fn new(cfg: EcptWalkerConfig) -> EcptWalker {
+        EcptWalker {
+            pmd_cwc: SetAssocCache::fully_associative(cfg.pmd_cwc_entries),
+            pud_cwc: SetAssocCache::fully_associative(cfg.pud_cwc_entries),
+            cfg,
+            walks: 0,
+            total_cycles: 0,
+            total_accesses: 0,
+            cwt_walks: 0,
+        }
+    }
+
+    /// Performs one timed walk for `va` over any hashed page table.
+    pub fn walk<T: HptView>(
+        &mut self,
+        ecpt: &T,
+        va: VirtAddr,
+        mem: &mut MemoryModel,
+    ) -> HptWalkResult {
+        self.walks += 1;
+        let pud_key = va.0 >> 30;
+        let pmd_key = va.0 >> 21;
+        // One parallel probe of both CWCs, overlapped with hashing (and
+        // with the L2P access in ME-HPT, Section V-D).
+        let mut cycles = self.cfg.cwc_latency.max(self.cfg.hash_latency) + self.cfg.extra_latency;
+
+        let pud_cached = self.pud_cwc.contains(pud_key);
+        let pmd_cached = self.pmd_cwc.contains(pmd_key);
+        let pud_mask = ecpt.pud_mask(va).unwrap_or(0);
+        let pmd_mask = ecpt.pmd_mask(va).unwrap_or(0);
+        // Which page sizes to probe. With warm CWCs the masks are known
+        // exactly; on a CWC miss the walker does NOT serialize behind the
+        // in-memory CWT — per Figure 7 it generates all potential accesses
+        // up front, fetching the missing CWT entries *in parallel* with
+        // speculative probes of every page size the coarser knowledge
+        // allows. Latency stays one memory round trip; the price is extra
+        // (parallel) probes, which is why the CWCs exist at all.
+        let sizes = match (pud_cached, pmd_cached) {
+            (true, true) => (pmd_mask & 0b011) | (pud_mask & 0b100),
+            (true, false) => pud_mask, // refine small sizes speculatively
+            (false, _) => 0b111,       // probe everything
+        };
+        let mut group: Vec<PhysAddr> = Vec::with_capacity(11);
+        if !pud_cached {
+            group.push(PhysAddr::new(PUD_CWT_BASE + pud_key * 8));
+            self.cwt_walks += 1;
+            self.pud_cwc.fill(pud_key);
+        }
+        if !pmd_cached {
+            group.push(PhysAddr::new(PMD_CWT_BASE + pmd_key * 8));
+            self.cwt_walks += 1;
+            self.pmd_cwc.fill(pmd_key);
+        }
+        for ps in PAGE_SIZES {
+            if sizes & size_bit(ps) != 0 {
+                group.extend(ecpt.probe_addrs(ps, va.vpn(ps)));
+            }
+        }
+        let accesses = group.len() as u32;
+        if !group.is_empty() {
+            cycles += mem.access_parallel(&group);
+        }
+        let translation = ecpt.translate(va);
+        self.total_cycles += cycles;
+        self.total_accesses += accesses as u64;
+        HptWalkResult {
+            translation,
+            cycles,
+            memory_accesses: accesses,
+        }
+    }
+
+    /// Drops cached CWC state for the regions containing `va`; the OS calls
+    /// this when a map/unmap changes the region's page-size mask.
+    pub fn invalidate_region(&mut self, va: VirtAddr) {
+        self.pud_cwc.invalidate(va.0 >> 30);
+        self.pmd_cwc.invalidate(va.0 >> 21);
+    }
+
+    /// Flushes the CWCs (context switch).
+    pub fn flush(&mut self) {
+        self.pmd_cwc.flush();
+        self.pud_cwc.flush();
+    }
+
+    /// Walks performed.
+    pub fn walks(&self) -> u64 {
+        self.walks
+    }
+
+    /// CWT memory walks performed (CWC misses).
+    pub fn cwt_walks(&self) -> u64 {
+        self.cwt_walks
+    }
+
+    /// Mean walk latency in cycles.
+    pub fn mean_cycles(&self) -> f64 {
+        if self.walks == 0 {
+            return 0.0;
+        }
+        self.total_cycles as f64 / self.walks as f64
+    }
+
+    /// Mean memory accesses per walk.
+    pub fn mean_accesses(&self) -> f64 {
+        if self.walks == 0 {
+            return 0.0;
+        }
+        self.total_accesses as f64 / self.walks as f64
+    }
+}

@@ -1,0 +1,196 @@
+use core::ops::{Index, IndexMut};
+
+/// A growable slot array stored as fixed-size chunks — the generic form of
+/// the paper's L2P technique (Section VIII: "directories can be
+/// disaggregated with one level of indirection using our L2P table
+/// technique").
+///
+/// A contiguous `Vec` of N slots needs one N-slot allocation; a
+/// `ChunkedVec` never allocates more than one chunk at a time, so the
+/// *maximum contiguous allocation* of a growing table is capped at the
+/// chunk size — exactly what the L2P table does for HPT ways.
+///
+/// Indexing translates exactly like the hardware (Figure 2b): chunk
+/// `i / chunk_len` (a shift when `chunk_len` is a power of two), offset
+/// `i % chunk_len` (a mask).
+///
+/// # Examples
+///
+/// ```
+/// use mehpt_hash::ChunkedVec;
+///
+/// let mut v: ChunkedVec<u32> = ChunkedVec::new(8);
+/// v.resize_with(20, || 0);
+/// v[17] = 42;
+/// assert_eq!(v[17], 42);
+/// assert_eq!(v.len(), 20);
+/// assert_eq!(v.chunk_count(), 3); // ceil(20 / 8)
+/// ```
+#[derive(Clone, Debug)]
+pub struct ChunkedVec<T> {
+    chunks: Vec<Box<[T]>>,
+    chunk_len: usize,
+    len: usize,
+}
+
+impl<T> ChunkedVec<T> {
+    /// Creates an empty array with the given chunk length (a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len` is not a positive power of two.
+    pub fn new(chunk_len: usize) -> ChunkedVec<T> {
+        assert!(
+            chunk_len.is_power_of_two(),
+            "chunk length must be a power of two"
+        );
+        ChunkedVec {
+            chunks: Vec::new(),
+            chunk_len,
+            len: 0,
+        }
+    }
+
+    /// The number of live slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no slots exist.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Slots per chunk.
+    pub fn chunk_len(&self) -> usize {
+        self.chunk_len
+    }
+
+    /// Chunks currently allocated.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Grows or shrinks to `new_len` slots, filling new slots with `f` and
+    /// allocating/freeing whole chunks as needed. The largest single
+    /// allocation is always one chunk.
+    pub fn resize_with<F: FnMut() -> T>(&mut self, new_len: usize, mut f: F) {
+        let needed = new_len.div_ceil(self.chunk_len);
+        while self.chunks.len() < needed {
+            let chunk: Box<[T]> = (0..self.chunk_len).map(|_| f()).collect();
+            self.chunks.push(chunk);
+        }
+        self.chunks.truncate(needed);
+        // Reset slots revealed by growth within the last partial chunk.
+        if new_len > self.len {
+            for i in self.len..new_len.min(self.chunks.len() * self.chunk_len) {
+                let (c, o) = (i / self.chunk_len, i % self.chunk_len);
+                // Slots in freshly allocated chunks are already f()-filled;
+                // only previously truncated-but-kept tail slots need reset.
+                // Overwriting both cases keeps the invariant simple.
+                self.chunks[c][o] = f();
+            }
+        }
+        self.len = new_len;
+    }
+
+    /// Shrinks to `new_len` (keeps existing values in the surviving range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_len > len`.
+    pub fn truncate(&mut self, new_len: usize) {
+        assert!(new_len <= self.len);
+        self.len = new_len;
+        self.chunks
+            .truncate(new_len.div_ceil(self.chunk_len).max(0));
+    }
+
+    /// Iterates over the live slots.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.chunks.iter().flat_map(|c| c.iter()).take(self.len)
+    }
+}
+
+impl<T> Index<usize> for ChunkedVec<T> {
+    type Output = T;
+
+    fn index(&self, i: usize) -> &T {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        &self.chunks[i / self.chunk_len][i % self.chunk_len]
+    }
+}
+
+impl<T> IndexMut<usize> for ChunkedVec<T> {
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        &mut self.chunks[i / self.chunk_len][i % self.chunk_len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_one_chunk_at_a_time() {
+        let mut v: ChunkedVec<u64> = ChunkedVec::new(4);
+        v.resize_with(1, || 7);
+        assert_eq!(v.chunk_count(), 1);
+        v.resize_with(9, || 7);
+        assert_eq!(v.chunk_count(), 3);
+        assert_eq!(v.len(), 9);
+        assert!(v.iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn index_round_trips() {
+        let mut v: ChunkedVec<usize> = ChunkedVec::new(8);
+        v.resize_with(100, || 0);
+        for i in 0..100 {
+            v[i] = i * 3;
+        }
+        for i in 0..100 {
+            assert_eq!(v[i], i * 3);
+        }
+        let collected: Vec<usize> = v.iter().copied().collect();
+        assert_eq!(collected.len(), 100);
+        assert_eq!(collected[99], 297);
+    }
+
+    #[test]
+    fn truncate_frees_whole_chunks() {
+        let mut v: ChunkedVec<u8> = ChunkedVec::new(4);
+        v.resize_with(16, || 1);
+        assert_eq!(v.chunk_count(), 4);
+        v.truncate(5);
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.chunk_count(), 2);
+        assert_eq!(v[4], 1);
+    }
+
+    #[test]
+    fn regrow_after_truncate_resets_slots() {
+        let mut v: ChunkedVec<u8> = ChunkedVec::new(4);
+        v.resize_with(8, || 9);
+        v[6] = 42;
+        v.truncate(5);
+        v.resize_with(8, || 0);
+        assert_eq!(v[6], 0, "revealed slot must be re-initialized");
+        assert_eq!(v[4], 9, "kept slot must survive");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let mut v: ChunkedVec<u8> = ChunkedVec::new(4);
+        v.resize_with(3, || 0);
+        let _ = v[3];
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_chunk_len_panics() {
+        let _: ChunkedVec<u8> = ChunkedVec::new(3);
+    }
+}

@@ -1,0 +1,215 @@
+use std::hash::{Hash, Hasher};
+
+/// The CRC-64/ECMA-182 polynomial (normal form).
+const CRC64_POLY: u64 = 0x42F0_E1EB_A9EA_3693;
+
+/// Computes the 256-entry CRC-64 lookup table at first use.
+fn crc64_table() -> &'static [u64; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u64; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u64; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = (i as u64) << 56;
+            for _ in 0..8 {
+                crc = if crc & (1 << 63) != 0 {
+                    (crc << 1) ^ CRC64_POLY
+                } else {
+                    crc << 1
+                };
+            }
+            *slot = crc;
+        }
+        table
+    })
+}
+
+/// Computes the CRC-64/ECMA checksum of `bytes` starting from `init`.
+///
+/// This is the hash primitive the modeled MMU implements in hardware
+/// (Table III: "Hash functions: CRC, latency 2 cycles").
+///
+/// # Examples
+///
+/// ```
+/// use mehpt_hash::crc64;
+///
+/// assert_ne!(crc64(0, b"abc"), crc64(0, b"abd"));
+/// assert_ne!(crc64(0, b"abc"), crc64(1, b"abc"));
+/// ```
+pub fn crc64(init: u64, bytes: &[u8]) -> u64 {
+    let table = crc64_table();
+    let mut crc = init;
+    for &b in bytes {
+        crc = table[(((crc >> 56) as u8) ^ b) as usize] ^ (crc << 8);
+    }
+    crc
+}
+
+/// A [`Hasher`] computing CRC-64 with a nonlinear finalizer.
+///
+/// CRC is linear over GF(2): two hash functions that differ only in their
+/// initial value would collide on exactly the same key pairs, which would
+/// make the ways of a cuckoo table collide together and defeat the purpose
+/// of multiple hash functions. The splitmix64 finalizer applied in
+/// [`Hasher::finish`] breaks that linearity while keeping the hardware cost
+/// model (a couple of cycles) realistic.
+#[derive(Clone, Debug)]
+pub struct Crc64Hasher {
+    state: u64,
+}
+
+impl Crc64Hasher {
+    /// Creates a hasher starting from the given initial CRC value.
+    pub fn new(init: u64) -> Crc64Hasher {
+        Crc64Hasher { state: init }
+    }
+}
+
+impl Hasher for Crc64Hasher {
+    fn finish(&self) -> u64 {
+        // splitmix64 finalizer: decorrelates CRC's linear structure.
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        self.state = crc64(self.state, bytes);
+    }
+}
+
+/// A family of per-way hash functions for a W-way cuckoo table.
+///
+/// Way `i` hashes with CRC-64 from a distinct initial value and a distinct
+/// nonlinear finalizer input, so the ways behave as independent functions.
+///
+/// # Examples
+///
+/// ```
+/// use mehpt_hash::HashFamily;
+///
+/// let family = HashFamily::new(3, 42);
+/// let h0 = family.hash(0, &123u64);
+/// let h1 = family.hash(1, &123u64);
+/// assert_ne!(h0, h1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct HashFamily {
+    inits: Vec<u64>,
+}
+
+impl HashFamily {
+    /// Creates a family of `ways` hash functions derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways == 0`.
+    pub fn new(ways: usize, seed: u64) -> HashFamily {
+        assert!(ways > 0, "hash family needs at least one way");
+        let mut state = seed ^ 0x6a09_e667_f3bc_c908;
+        let inits = (0..ways)
+            .map(|_| mehpt_types::rng::splitmix64(&mut state))
+            .collect();
+        HashFamily { inits }
+    }
+
+    /// The number of ways (hash functions) in the family.
+    pub fn ways(&self) -> usize {
+        self.inits.len()
+    }
+
+    /// Hashes `key` with way `way`'s function, returning a full 64-bit key.
+    ///
+    /// Table indices are produced by masking low bits of this value; an
+    /// in-place resize consumes one more (or one fewer) bit of the same
+    /// value, which is what makes the paper's in-place rehash work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range.
+    pub fn hash<K: Hash + ?Sized>(&self, way: usize, key: &K) -> u64 {
+        let mut hasher = Crc64Hasher::new(self.inits[way]);
+        key.hash(&mut hasher);
+        hasher.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc_distinguishes_inputs() {
+        assert_ne!(crc64(0, b"hello"), crc64(0, b"hellp"));
+        assert_ne!(crc64(0, b"a"), crc64(0, b"ab"));
+    }
+
+    #[test]
+    fn crc_depends_on_init() {
+        assert_ne!(crc64(1, b"x"), crc64(2, b"x"));
+    }
+
+    #[test]
+    fn hasher_is_deterministic() {
+        let h = |k: u64| {
+            let mut hasher = Crc64Hasher::new(7);
+            k.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(h(99), h(99));
+        assert_ne!(h(99), h(100));
+    }
+
+    #[test]
+    fn family_ways_decorrelated() {
+        // The ways must not collide on the same pairs: check that keys
+        // colliding in the low bits of way 0 do not also collide in way 1.
+        let family = HashFamily::new(2, 1);
+        let mask = 0xff;
+        let mut joint_collisions = 0;
+        let mut w0_collisions = 0;
+        for a in 0..2000u64 {
+            let b = a + 5000;
+            if family.hash(0, &a) & mask == family.hash(0, &b) & mask {
+                w0_collisions += 1;
+                if family.hash(1, &a) & mask == family.hash(1, &b) & mask {
+                    joint_collisions += 1;
+                }
+            }
+        }
+        assert!(w0_collisions > 0, "test needs some way-0 collisions");
+        // If ways were linear shifts of each other, every way-0 collision
+        // would also be a way-1 collision.
+        assert!(
+            joint_collisions * 16 <= w0_collisions,
+            "{joint_collisions}/{w0_collisions} joint collisions — ways correlated"
+        );
+    }
+
+    #[test]
+    fn low_bits_look_uniform() {
+        let family = HashFamily::new(1, 3);
+        let mut buckets = [0u32; 16];
+        for k in 0..16_000u64 {
+            buckets[(family.hash(0, &k) & 0xf) as usize] += 1;
+        }
+        for b in buckets {
+            assert!((800..1200).contains(&b), "bucket {b}");
+        }
+    }
+
+    #[test]
+    fn seeds_produce_different_families() {
+        let f1 = HashFamily::new(1, 1);
+        let f2 = HashFamily::new(1, 2);
+        assert_ne!(f1.hash(0, &42u64), f2.hash(0, &42u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_panics() {
+        HashFamily::new(0, 0);
+    }
+}

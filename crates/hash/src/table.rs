@@ -1,0 +1,924 @@
+use std::hash::Hash;
+use std::mem;
+
+use mehpt_types::rng::Xoshiro256;
+
+use crate::stats::{ResizeEvent, ResizeKind, TableStats};
+use crate::{Config, HashFamily, ResizeMode, WaySizing};
+
+type Slot<K, V> = Option<(K, V)>;
+
+/// Where a hash key resolves within a way, given its resize state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Loc {
+    /// Index into the way's current (live/new) array.
+    Cur(usize),
+    /// Index into the way's old array (out-of-place resize only).
+    Old(usize),
+}
+
+/// The in-flight resize of one way.
+#[derive(Clone, Debug)]
+struct Resize {
+    old_len: usize,
+    rehash_ptr: usize,
+    kind: ResizeKind,
+    mode: ResizeMode,
+    moved: u64,
+    kept: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Way<K, V> {
+    /// The current array. For an out-of-place resize this is the *new*
+    /// table; for an in-place upsize it is the grown array; for an in-place
+    /// downsize it is still the old-sized array until migration completes.
+    slots: Vec<Slot<K, V>>,
+    /// The old table during an out-of-place resize; empty otherwise.
+    old_slots: Vec<Slot<K, V>>,
+    /// The logical capacity in entries (what occupancy is measured against).
+    logical_len: usize,
+    resize: Option<Resize>,
+    occupied: usize,
+}
+
+impl<K, V> Way<K, V> {
+    fn new(len: usize) -> Way<K, V> {
+        Way {
+            slots: (0..len).map(|_| None).collect(),
+            old_slots: Vec::new(),
+            logical_len: len,
+            resize: None,
+            occupied: 0,
+        }
+    }
+
+    /// Resolves hash key `h` to a slot location, honoring the paper's
+    /// rehash-pointer rule: keys whose old-table index is at or above the
+    /// rehash pointer are still in the live region of the old table;
+    /// below it, the key lives in the new table (indexed with one more or
+    /// one fewer bit of the same hash value).
+    fn locate(&self, h: u64) -> Loc {
+        match &self.resize {
+            None => Loc::Cur(h as usize & (self.logical_len - 1)),
+            Some(r) => {
+                let old_idx = h as usize & (r.old_len - 1);
+                if old_idx >= r.rehash_ptr {
+                    match r.mode {
+                        ResizeMode::OutOfPlace => Loc::Old(old_idx),
+                        ResizeMode::InPlace => Loc::Cur(old_idx),
+                    }
+                } else {
+                    Loc::Cur(h as usize & (self.logical_len - 1))
+                }
+            }
+        }
+    }
+
+    fn slot(&self, loc: Loc) -> &Slot<K, V> {
+        match loc {
+            Loc::Cur(i) => &self.slots[i],
+            Loc::Old(i) => &self.old_slots[i],
+        }
+    }
+
+    fn slot_mut(&mut self, loc: Loc) -> &mut Slot<K, V> {
+        match loc {
+            Loc::Cur(i) => &mut self.slots[i],
+            Loc::Old(i) => &mut self.old_slots[i],
+        }
+    }
+
+    fn physical_bytes(&self, slot_bytes: usize) -> u64 {
+        ((self.slots.len() + self.old_slots.len()) * slot_bytes) as u64
+    }
+
+    fn is_resizing(&self) -> bool {
+        self.resize.is_some()
+    }
+}
+
+/// A W-way elastic cuckoo hash table.
+///
+/// This is Elastic Cuckoo Hashing (the substrate of ECPT, Section II-B)
+/// extended with the paper's two memory-reduction techniques in their
+/// generic form:
+///
+/// * **in-place resizing** ([`ResizeMode::InPlace`], Section IV-C) — the new
+///   table shares the old table's memory; upsizing indexes with one extra
+///   hash-key bit, so ≈50% of migrated entries do not move at all;
+/// * **per-way resizing** ([`WaySizing::PerWay`], Section IV-D) — one way
+///   resizes at a time, with weighted-random insertion proportional to
+///   per-way free slots and a balance gate that keeps every way within 2× of
+///   every other.
+///
+/// Resizing is *gradual*: each insert (or remove) migrates a bounded number
+/// of entries, so no operation ever stops the world. Lookups always probe
+/// exactly W locations.
+///
+/// # Examples
+///
+/// ```
+/// use mehpt_hash::{Config, ElasticCuckooTable};
+///
+/// let mut table: ElasticCuckooTable<u64, &str> =
+///     ElasticCuckooTable::new(Config::mehpt());
+/// table.insert(1, "one");
+/// assert_eq!(table.remove(&1), Some("one"));
+/// assert!(table.is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct ElasticCuckooTable<K, V> {
+    ways: Vec<Way<K, V>>,
+    family: HashFamily,
+    cfg: Config,
+    rng: Xoshiro256,
+    len: usize,
+    stats: TableStats,
+}
+
+impl<K: Hash + Eq, V> ElasticCuckooTable<K, V> {
+    /// Creates an empty table from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use [`Config::validate`] to
+    /// check fallibly first.
+    pub fn new(cfg: Config) -> ElasticCuckooTable<K, V> {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid ElasticCuckooTable config: {e}");
+        }
+        let ways = (0..cfg.ways)
+            .map(|_| Way::new(cfg.initial_entries_per_way))
+            .collect();
+        let family = HashFamily::new(cfg.ways, cfg.seed);
+        let rng = Xoshiro256::seed_from_u64(cfg.seed ^ 0xc0ff_ee00);
+        let mut table = ElasticCuckooTable {
+            ways,
+            family,
+            cfg,
+            rng,
+            len: 0,
+            stats: TableStats::default(),
+        };
+        table.refresh_bytes();
+        let initial: u64 = (table.slot_bytes() * table.cfg.initial_entries_per_way) as u64;
+        table.stats.max_contiguous_bytes = initial;
+        table
+    }
+
+    fn slot_bytes(&self) -> usize {
+        mem::size_of::<Slot<K, V>>()
+    }
+
+    /// The number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total logical capacity in entries across ways.
+    pub fn capacity(&self) -> usize {
+        self.ways.iter().map(|w| w.logical_len).sum()
+    }
+
+    /// The logical capacity of each way, in entries.
+    pub fn way_capacities(&self) -> Vec<usize> {
+        self.ways.iter().map(|w| w.logical_len).collect()
+    }
+
+    /// The number of live entries in each way.
+    pub fn way_occupancies(&self) -> Vec<usize> {
+        self.ways.iter().map(|w| w.occupied).collect()
+    }
+
+    /// Current occupancy as a fraction of capacity.
+    pub fn load_factor(&self) -> f64 {
+        self.len as f64 / self.capacity() as f64
+    }
+
+    /// Whether any way has a resize in flight.
+    pub fn is_resizing(&self) -> bool {
+        self.ways.iter().any(Way::is_resizing)
+    }
+
+    /// Collected statistics (resize events, kick histogram, memory marks).
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    /// Bytes currently occupied by the table arrays.
+    pub fn memory_bytes(&self) -> u64 {
+        let sb = self.slot_bytes();
+        self.ways.iter().map(|w| w.physical_bytes(sb)).sum()
+    }
+
+    /// Looks up `key`, probing each way once.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        for way in 0..self.ways.len() {
+            let h = self.family.hash(way, key);
+            let loc = self.ways[way].locate(h);
+            if let Some((k, v)) = self.ways[way].slot(loc).as_ref() {
+                if k == key {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Looks up `key` and returns a mutable reference to its value.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        for way in 0..self.ways.len() {
+            let h = self.family.hash(way, key);
+            let loc = self.ways[way].locate(h);
+            if let Some((k, _)) = self.ways[way].slot(loc).as_ref() {
+                if k == key {
+                    let (_, v) = self.ways[way].slot_mut(loc).as_mut().unwrap();
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts `key → value`; returns the previous value if the key was
+    /// already present.
+    ///
+    /// An insert may trigger a gradual resize (per the 0.6/0.2 occupancy
+    /// thresholds) and performs a bounded amount of migration work on
+    /// behalf of any in-flight resize, exactly like the OS piggybacking
+    /// rehashes on page-table inserts in the paper.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.stats.inserts += 1;
+        if let Some(v) = self.get_mut(&key) {
+            return Some(mem::replace(v, value));
+        }
+        self.maybe_trigger_resizes(1);
+        self.migration_step();
+        let start_way = self.choose_insert_way();
+        let kicks = self.place(start_way, key, value);
+        self.len += 1;
+        self.stats.record_kicks(kicks);
+        None
+    }
+
+    /// Removes `key`, returning its value.
+    ///
+    /// Removes also advance in-flight migrations and may trigger a
+    /// downsize.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.stats.removes += 1;
+        let mut found = None;
+        for way in 0..self.ways.len() {
+            let h = self.family.hash(way, key);
+            let loc = self.ways[way].locate(h);
+            if let Some((k, _)) = self.ways[way].slot(loc).as_ref() {
+                if k == key {
+                    let (_, v) = self.ways[way].slot_mut(loc).take().unwrap();
+                    self.ways[way].occupied -= 1;
+                    self.len -= 1;
+                    found = Some(v);
+                    break;
+                }
+            }
+        }
+        if found.is_some() {
+            self.maybe_trigger_resizes(0);
+            self.migration_step();
+        }
+        found
+    }
+
+    /// Iterates over all live entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.ways.iter().flat_map(|w| {
+            w.slots
+                .iter()
+                .chain(w.old_slots.iter())
+                .filter_map(|s| s.as_ref().map(|(k, v)| (k, v)))
+        })
+    }
+
+    // ---- insertion and cuckoo displacement ----
+
+    /// Chooses the way a fresh insert starts in.
+    fn choose_insert_way(&mut self) -> usize {
+        match self.cfg.sizing {
+            WaySizing::AllWay => self.rng.next_index(self.ways.len()),
+            WaySizing::PerWay => {
+                // Weighted random insertion (Section IV-D): weight i is the
+                // way's free-slot count, forced to zero when the way is
+                // already larger than another way and at its upsize
+                // threshold.
+                let min_len = self.ways.iter().map(|w| w.logical_len).min().unwrap();
+                let weights: Vec<u64> = self
+                    .ways
+                    .iter()
+                    .map(|w| {
+                        let free = w.logical_len.saturating_sub(w.occupied) as u64;
+                        let at_threshold =
+                            w.occupied as f64 >= self.cfg.upsize_threshold * w.logical_len as f64;
+                        if w.logical_len > min_len && at_threshold {
+                            0
+                        } else {
+                            free
+                        }
+                    })
+                    .collect();
+                let total: u64 = weights.iter().sum();
+                if total == 0 {
+                    return self.rng.next_index(self.ways.len());
+                }
+                let mut r = self.rng.next_below(total);
+                for (i, w) in weights.iter().enumerate() {
+                    if r < *w {
+                        return i;
+                    }
+                    r -= w;
+                }
+                unreachable!("weighted choice must land in a bucket")
+            }
+        }
+    }
+
+    /// Places an entry starting at `way`, cuckoo-kicking as needed.
+    /// Returns the number of re-insertions (kicks) performed.
+    fn place(&mut self, way: usize, key: K, value: V) -> usize {
+        let mut way = way;
+        let mut entry = (key, value);
+        let mut kicks = 0;
+        let mut forced_upsizes = 0;
+        loop {
+            let h = self.family.hash(way, &entry.0);
+            let loc = self.ways[way].locate(h);
+            let slot = self.ways[way].slot_mut(loc);
+            match slot {
+                None => {
+                    *slot = Some(entry);
+                    self.ways[way].occupied += 1;
+                    return kicks;
+                }
+                Some(_) => {
+                    // Evict the occupant and retry it in a different way.
+                    let victim = mem::replace(slot, Some(entry)).unwrap();
+                    entry = victim;
+                    kicks += 1;
+                    if kicks % self.cfg.max_kicks == 0 {
+                        forced_upsizes += 1;
+                        assert!(
+                            forced_upsizes < 16,
+                            "cuckoo insertion cannot converge; table pathologically full"
+                        );
+                        self.force_upsize();
+                    }
+                    way = self.other_way(way);
+                }
+            }
+        }
+    }
+
+    /// A uniformly random way different from `not`.
+    fn other_way(&mut self, not: usize) -> usize {
+        let pick = self.rng.next_index(self.ways.len() - 1);
+        if pick >= not {
+            pick + 1
+        } else {
+            pick
+        }
+    }
+
+    // ---- resize triggering ----
+
+    fn maybe_trigger_resizes(&mut self, about_to_insert: usize) {
+        match self.cfg.sizing {
+            WaySizing::AllWay => {
+                if self.ways.iter().any(Way::is_resizing) {
+                    return;
+                }
+                let cap = self.capacity();
+                let len = self.len + about_to_insert;
+                if len as f64 > self.cfg.upsize_threshold * cap as f64 {
+                    for w in 0..self.ways.len() {
+                        self.start_resize(w, ResizeKind::Upsize);
+                    }
+                } else if (len as f64) < self.cfg.downsize_threshold * cap as f64
+                    && self.ways[0].logical_len > self.cfg.initial_entries_per_way
+                {
+                    for w in 0..self.ways.len() {
+                        self.start_resize(w, ResizeKind::Downsize);
+                    }
+                }
+            }
+            WaySizing::PerWay => {
+                // One way at a time.
+                if self.ways.iter().any(Way::is_resizing) {
+                    return;
+                }
+                let lens: Vec<usize> = self.ways.iter().map(|w| w.logical_len).collect();
+                let min_len = *lens.iter().min().unwrap();
+                let max_len = *lens.iter().max().unwrap();
+                for w in 0..self.ways.len() {
+                    let way = &self.ways[w];
+                    let up =
+                        way.occupied as f64 >= self.cfg.upsize_threshold * way.logical_len as f64;
+                    // The candidate way must not already be larger than
+                    // another way (upsize) or smaller than another
+                    // (downsize) — Section IV-D's balance gate.
+                    if up && way.logical_len <= min_len {
+                        self.start_resize(w, ResizeKind::Upsize);
+                        return;
+                    }
+                    let down = (way.occupied as f64)
+                        < self.cfg.downsize_threshold * way.logical_len as f64;
+                    if down
+                        && way.logical_len >= max_len
+                        && way.logical_len > self.cfg.initial_entries_per_way
+                    {
+                        self.start_resize(w, ResizeKind::Downsize);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Starts an upsize immediately (kick-overflow pressure valve).
+    fn force_upsize(&mut self) {
+        match self.cfg.sizing {
+            WaySizing::AllWay => {
+                for w in 0..self.ways.len() {
+                    self.finish_resize_now(w);
+                }
+                for w in 0..self.ways.len() {
+                    self.start_resize(w, ResizeKind::Upsize);
+                }
+            }
+            WaySizing::PerWay => {
+                // Grow the fullest among the smallest ways.
+                let min_len = self.ways.iter().map(|w| w.logical_len).min().unwrap();
+                let w = (0..self.ways.len())
+                    .filter(|&w| self.ways[w].logical_len == min_len)
+                    .max_by_key(|&w| self.ways[w].occupied)
+                    .unwrap();
+                self.finish_resize_now(w);
+                self.start_resize(w, ResizeKind::Upsize);
+            }
+        }
+    }
+
+    fn start_resize(&mut self, w: usize, kind: ResizeKind) {
+        debug_assert!(!self.ways[w].is_resizing());
+        let old_len = self.ways[w].logical_len;
+        let new_len = match kind {
+            ResizeKind::Upsize => old_len * 2,
+            ResizeKind::Downsize => old_len / 2,
+        };
+        let mode = self.cfg.resize_mode;
+        {
+            let way = &mut self.ways[w];
+            match (mode, kind) {
+                (ResizeMode::InPlace, ResizeKind::Upsize) => {
+                    // The old table becomes the lower half of the new one.
+                    way.slots.resize_with(new_len, || None);
+                }
+                (ResizeMode::InPlace, ResizeKind::Downsize) => {
+                    // The array shrinks only after migration completes.
+                }
+                (ResizeMode::OutOfPlace, _) => {
+                    let new: Vec<Slot<K, V>> = (0..new_len).map(|_| None).collect();
+                    way.old_slots = mem::replace(&mut way.slots, new);
+                }
+            }
+            way.logical_len = new_len;
+            way.resize = Some(Resize {
+                old_len,
+                rehash_ptr: 0,
+                kind,
+                mode,
+                moved: 0,
+                kept: 0,
+            });
+        }
+        // A new contiguous array was (conceptually) allocated for
+        // out-of-place resizes and — in this flat-array model — for in-place
+        // upsizes too; the chunked page-table implementation in
+        // `mehpt-core` is what removes the contiguity requirement.
+        let contiguous = (new_len * self.slot_bytes()) as u64;
+        if matches!(mode, ResizeMode::OutOfPlace) {
+            self.stats.max_contiguous_bytes = self.stats.max_contiguous_bytes.max(contiguous);
+        }
+        self.refresh_bytes();
+    }
+
+    // ---- migration ----
+
+    /// Advances every in-flight resize by the configured migration quota.
+    fn migration_step(&mut self) {
+        for w in 0..self.ways.len() {
+            for _ in 0..self.cfg.migrate_per_insert {
+                if !self.ways[w].is_resizing() {
+                    break;
+                }
+                self.migrate_one(w);
+            }
+        }
+    }
+
+    /// Synchronously completes an in-flight resize of way `w`.
+    fn finish_resize_now(&mut self, w: usize) {
+        while self.ways[w].is_resizing() {
+            self.migrate_one(w);
+        }
+    }
+
+    /// Migrates the entry under way `w`'s rehash pointer, finishing the
+    /// resize when the pointer reaches the end of the old table.
+    fn migrate_one(&mut self, w: usize) {
+        let Some(r) = self.ways[w].resize.as_mut() else {
+            return;
+        };
+        if r.rehash_ptr >= r.old_len {
+            self.complete_resize(w);
+            return;
+        }
+        let idx = r.rehash_ptr;
+        r.rehash_ptr += 1;
+        let mode = r.mode;
+        let taken = match mode {
+            ResizeMode::OutOfPlace => self.ways[w].old_slots[idx].take(),
+            ResizeMode::InPlace => self.ways[w].slots[idx].take(),
+        };
+        let Some((k, v)) = taken else {
+            return;
+        };
+        // Re-home the entry in the new table of the same way (paper: "takes
+        // the element pointed to by Pi, inserts it into way i of the new
+        // HPT").
+        let h = self.family.hash(w, &k);
+        let new_idx = h as usize & (self.ways[w].logical_len - 1);
+        let stays = matches!(mode, ResizeMode::InPlace) && new_idx == idx;
+        {
+            let r = self.ways[w].resize.as_mut().unwrap();
+            if stays {
+                r.kept += 1;
+            } else {
+                r.moved += 1;
+            }
+        }
+        let dst = &mut self.ways[w].slots[new_idx];
+        match dst {
+            None => {
+                *dst = Some((k, v));
+                // occupancy of the way is unchanged: same way, new region.
+                self.stats.record_kicks(0);
+            }
+            Some(_) => {
+                // Slot taken (an entry inserted during resizing, or — in a
+                // downsize — a not-yet-migrated live entry). Our entry
+                // claims the slot; the occupant is cuckooed into a
+                // different way, per Section IV-C.
+                let victim = mem::replace(dst, Some((k, v))).unwrap();
+                self.ways[w].occupied -= 1;
+                let other = self.other_way(w);
+                let kicks = self.place(other, victim.0, victim.1);
+                self.stats.record_kicks(kicks + 1);
+            }
+        }
+    }
+
+    /// Finalizes a completed migration: reclaims the old table and records
+    /// the resize event.
+    fn complete_resize(&mut self, w: usize) {
+        let r = self.ways[w].resize.take().expect("resize must be active");
+        debug_assert!(r.rehash_ptr >= r.old_len);
+        match (r.mode, r.kind) {
+            (ResizeMode::OutOfPlace, _) => {
+                debug_assert!(
+                    self.ways[w].old_slots.iter().all(Option::is_none),
+                    "old table must be fully migrated"
+                );
+                self.ways[w].old_slots = Vec::new();
+            }
+            (ResizeMode::InPlace, ResizeKind::Downsize) => {
+                let new_len = self.ways[w].logical_len;
+                debug_assert!(
+                    self.ways[w].slots[new_len..].iter().all(Option::is_none),
+                    "upper half must be empty after downsize migration"
+                );
+                self.ways[w].slots.truncate(new_len);
+                self.ways[w].slots.shrink_to_fit();
+            }
+            (ResizeMode::InPlace, ResizeKind::Upsize) => {}
+        }
+        self.stats.resizes.push(ResizeEvent {
+            way: w,
+            kind: r.kind,
+            from_entries: r.old_len,
+            to_entries: self.ways[w].logical_len,
+            moved: r.moved,
+            kept: r.kept,
+        });
+        self.refresh_bytes();
+    }
+
+    fn refresh_bytes(&mut self) {
+        let sb = self.slot_bytes();
+        let bytes = self.ways.iter().map(|w| w.physical_bytes(sb)).sum();
+        self.stats.set_bytes(bytes);
+    }
+
+    /// Checks structural invariants; test helper.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        let counted: usize = self.ways.iter().map(|w| w.occupied).sum();
+        assert_eq!(counted, self.len, "per-way occupancy does not sum to len");
+        let physical = self.iter().count();
+        assert_eq!(physical, self.len, "physical entries do not match len");
+        for way in &self.ways {
+            assert!(way.logical_len.is_power_of_two());
+            if let Some(r) = &way.resize {
+                assert!(r.rehash_ptr <= r.old_len);
+            } else {
+                assert!(way.old_slots.is_empty());
+                assert_eq!(way.slots.len(), way.logical_len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn configs() -> Vec<(&'static str, Config)> {
+        vec![
+            ("oop-allway", Config::ecpt_baseline()),
+            (
+                "inplace-allway",
+                Config {
+                    resize_mode: ResizeMode::InPlace,
+                    ..Config::default()
+                },
+            ),
+            (
+                "oop-perway",
+                Config {
+                    sizing: WaySizing::PerWay,
+                    ..Config::default()
+                },
+            ),
+            ("inplace-perway", Config::mehpt()),
+        ]
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip_all_configs() {
+        for (name, cfg) in configs() {
+            let mut t = ElasticCuckooTable::new(cfg);
+            for i in 0..5_000u64 {
+                assert_eq!(t.insert(i, i + 1), None, "{name}: fresh insert");
+            }
+            t.check_invariants();
+            for i in 0..5_000u64 {
+                assert_eq!(t.get(&i), Some(&(i + 1)), "{name}: get({i})");
+            }
+            assert_eq!(t.get(&9999), None);
+            for i in 0..5_000u64 {
+                assert_eq!(t.remove(&i), Some(i + 1), "{name}: remove({i})");
+            }
+            assert!(t.is_empty(), "{name}");
+            t.check_invariants();
+        }
+    }
+
+    #[test]
+    fn insert_replaces_existing_value() {
+        let mut t = ElasticCuckooTable::new(Config::default());
+        assert_eq!(t.insert(7u64, "a"), None);
+        assert_eq!(t.insert(7, "b"), Some("a"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&7), Some(&"b"));
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_upsize_threshold_for_long() {
+        for (name, cfg) in configs() {
+            let mut t = ElasticCuckooTable::new(cfg);
+            for i in 0..20_000u64 {
+                t.insert(i, ());
+                // Slack above the trigger: resizing is gradual, so the load
+                // can transiently exceed 0.6, but never by much.
+                assert!(
+                    t.load_factor() < 0.75,
+                    "{name}: load factor {} at i={i}",
+                    t.load_factor()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn upsizes_happen_and_grow_capacity() {
+        let mut t = ElasticCuckooTable::new(Config::ecpt_baseline());
+        let initial_cap = t.capacity();
+        for i in 0..10_000u64 {
+            t.insert(i, ());
+        }
+        assert!(t.capacity() > initial_cap * 8);
+        assert!(!t.stats().resizes.is_empty());
+    }
+
+    #[test]
+    fn downsizes_shrink_capacity() {
+        let mut t = ElasticCuckooTable::new(Config::mehpt());
+        for i in 0..10_000u64 {
+            t.insert(i, ());
+        }
+        let grown = t.capacity();
+        for i in 0..10_000u64 {
+            t.remove(&i);
+        }
+        // Removes trigger gradual downsizes; push them along.
+        for i in 0..12_000u64 {
+            t.insert(100_000 + i, ());
+            t.remove(&(100_000 + i));
+        }
+        assert!(
+            t.capacity() < grown / 2,
+            "capacity {} did not shrink from {grown}",
+            t.capacity()
+        );
+        t.check_invariants();
+    }
+
+    #[test]
+    fn inplace_upsize_keeps_roughly_half_in_place() {
+        // Figure 13: the fraction of entries moved per in-place upsize ≈ 0.5.
+        let mut t = ElasticCuckooTable::new(Config {
+            resize_mode: ResizeMode::InPlace,
+            ..Config::default()
+        });
+        for i in 0..200_000u64 {
+            t.insert(i, ());
+        }
+        let f = t.stats().mean_upsize_moved_fraction();
+        assert!((0.4..0.6).contains(&f), "moved fraction {f}");
+    }
+
+    #[test]
+    fn out_of_place_upsize_moves_everything() {
+        let mut t = ElasticCuckooTable::new(Config::ecpt_baseline());
+        for i in 0..50_000u64 {
+            t.insert(i, ());
+        }
+        let f = t.stats().mean_upsize_moved_fraction();
+        assert_eq!(f, 1.0, "out-of-place migration always moves entries");
+    }
+
+    #[test]
+    fn inplace_peak_memory_below_out_of_place() {
+        // Section IV-C: out-of-place resizing holds old + new (1.5× the new
+        // table); in-place holds max(old, new).
+        let run = |mode| {
+            let mut t = ElasticCuckooTable::new(Config {
+                resize_mode: mode,
+                ..Config::default()
+            });
+            for i in 0..100_000u64 {
+                t.insert(i, ());
+            }
+            t.stats().peak_bytes
+        };
+        let oop = run(ResizeMode::OutOfPlace);
+        let inp = run(ResizeMode::InPlace);
+        assert!(
+            (inp as f64) < 0.8 * oop as f64,
+            "in-place peak {inp} not clearly below out-of-place peak {oop}"
+        );
+    }
+
+    #[test]
+    fn per_way_resizing_keeps_ways_within_double() {
+        let mut t = ElasticCuckooTable::new(Config::mehpt());
+        for i in 0..300_000u64 {
+            t.insert(i, ());
+            if i % 8192 == 0 {
+                let caps = t.way_capacities();
+                let min = *caps.iter().min().unwrap();
+                let max = *caps.iter().max().unwrap();
+                assert!(max <= 2 * min, "way imbalance beyond 2x: {caps:?} at i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_way_resizes_one_way_at_a_time() {
+        let mut t = ElasticCuckooTable::new(Config::mehpt());
+        for i in 0..100_000u64 {
+            t.insert(i, ());
+            let resizing = t.ways.iter().filter(|w| w.is_resizing()).count();
+            assert!(resizing <= 1, "{resizing} ways resizing at once");
+        }
+    }
+
+    #[test]
+    fn all_way_resizes_all_ways_together() {
+        let mut t: ElasticCuckooTable<u64, ()> = ElasticCuckooTable::new(Config::ecpt_baseline());
+        let mut saw_full_resize = false;
+        for i in 0..10_000u64 {
+            t.insert(i, ());
+            let resizing = t.ways.iter().filter(|w| w.is_resizing()).count();
+            if resizing > 0 {
+                assert_eq!(resizing, t.ways.len(), "all ways must resize together");
+                saw_full_resize = true;
+            }
+        }
+        assert!(saw_full_resize);
+    }
+
+    #[test]
+    fn kick_histogram_mostly_zero_at_paper_occupancy() {
+        // Figure 16: P(no re-insertion) ≈ 0.64 at ECPT's occupancy bounds.
+        let mut t = ElasticCuckooTable::new(Config::mehpt());
+        for i in 0..100_000u64 {
+            t.insert(i, ());
+        }
+        let hist = &t.stats().kicks_histogram;
+        let total: u64 = hist.iter().sum();
+        let zero_frac = hist[0] as f64 / total as f64;
+        assert!(zero_frac > 0.5, "P(0 kicks) = {zero_frac}");
+        let mean = t.stats().mean_kicks();
+        assert!(mean < 1.5, "mean kicks {mean}");
+    }
+
+    #[test]
+    fn lookups_correct_during_resizes() {
+        // Interleave inserts and lookups so many lookups hit mid-resize.
+        for (name, cfg) in configs() {
+            let mut t = ElasticCuckooTable::new(cfg);
+            for i in 0..30_000u64 {
+                t.insert(i, i);
+                if i % 7 == 0 {
+                    let probe = i / 2;
+                    assert_eq!(t.get(&probe), Some(&probe), "{name} at i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn iter_visits_every_entry_once() {
+        let mut t = ElasticCuckooTable::new(Config::mehpt());
+        for i in 0..10_000u64 {
+            t.insert(i, ());
+        }
+        let mut keys: Vec<u64> = t.iter().map(|(k, _)| *k).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 10_000);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut t = ElasticCuckooTable::new(Config::default());
+        t.insert(1u64, 10);
+        *t.get_mut(&1).unwrap() += 5;
+        assert_eq!(t.get(&1), Some(&15));
+        assert_eq!(t.get_mut(&2), None);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut t = ElasticCuckooTable::new(Config::mehpt());
+            for i in 0..50_000u64 {
+                t.insert(i, ());
+            }
+            (
+                t.way_capacities(),
+                t.stats().resizes.len(),
+                t.stats().kicks_histogram.clone(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ElasticCuckooTable config")]
+    fn invalid_config_panics() {
+        let _ = ElasticCuckooTable::<u64, ()>::new(Config {
+            ways: 1,
+            ..Config::default()
+        });
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests: the elastic cuckoo table must behave exactly like a
+//! `HashMap` under arbitrary operation sequences, in every combination of
+//! the paper's resize techniques, including mid-resize states.
+
+use std::collections::HashMap;
+
+use mehpt_hash::{Config, ElasticCuckooTable, LevelHashTable, ResizeMode, WaySizing};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u16, u32),
+    Remove(u16),
+    Get(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        1 => any::<u16>().prop_map(Op::Remove),
+        1 => any::<u16>().prop_map(Op::Get),
+    ]
+}
+
+fn config(mode: ResizeMode, sizing: WaySizing) -> Config {
+    Config {
+        resize_mode: mode,
+        sizing,
+        // Small initial table so resizes happen constantly under proptest's
+        // modest input sizes.
+        initial_entries_per_way: 8,
+        ..Config::default()
+    }
+}
+
+fn check_against_model(cfg: Config, ops: Vec<Op>) {
+    let mut table = ElasticCuckooTable::new(cfg);
+    let mut model: HashMap<u16, u32> = HashMap::new();
+    for op in ops {
+        match op {
+            Op::Insert(k, v) => {
+                assert_eq!(table.insert(k, v), model.insert(k, v));
+            }
+            Op::Remove(k) => {
+                assert_eq!(table.remove(&k), model.remove(&k));
+            }
+            Op::Get(k) => {
+                assert_eq!(table.get(&k), model.get(&k));
+            }
+        }
+        assert_eq!(table.len(), model.len());
+    }
+    table.check_invariants();
+    // Every model entry must be findable, and iteration must match exactly.
+    for (k, v) in &model {
+        assert_eq!(table.get(k), Some(v));
+    }
+    let mut table_entries: Vec<(u16, u32)> = table.iter().map(|(k, v)| (*k, *v)).collect();
+    let mut model_entries: Vec<(u16, u32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+    table_entries.sort_unstable();
+    model_entries.sort_unstable();
+    assert_eq!(table_entries, model_entries);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn oop_allway_matches_hashmap(ops in proptest::collection::vec(op_strategy(), 0..800)) {
+        check_against_model(config(ResizeMode::OutOfPlace, WaySizing::AllWay), ops);
+    }
+
+    #[test]
+    fn inplace_allway_matches_hashmap(ops in proptest::collection::vec(op_strategy(), 0..800)) {
+        check_against_model(config(ResizeMode::InPlace, WaySizing::AllWay), ops);
+    }
+
+    #[test]
+    fn oop_perway_matches_hashmap(ops in proptest::collection::vec(op_strategy(), 0..800)) {
+        check_against_model(config(ResizeMode::OutOfPlace, WaySizing::PerWay), ops);
+    }
+
+    #[test]
+    fn inplace_perway_matches_hashmap(ops in proptest::collection::vec(op_strategy(), 0..800)) {
+        check_against_model(config(ResizeMode::InPlace, WaySizing::PerWay), ops);
+    }
+
+    #[test]
+    fn level_hash_matches_hashmap(ops in proptest::collection::vec(op_strategy(), 0..800)) {
+        let mut table = LevelHashTable::new(4, 99);
+        let mut model: HashMap<u16, u32> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(table.insert(k, v), model.insert(k, v));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(table.remove(&k), model.remove(&k));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(table.get(&k), model.get(&k));
+                }
+            }
+            prop_assert_eq!(table.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn way_balance_invariant_holds_under_any_workload(
+        ops in proptest::collection::vec(op_strategy(), 0..1500)
+    ) {
+        // Section IV-D: "a way will never be more than double (or less than
+        // half) the size of another way."
+        let mut table = ElasticCuckooTable::new(config(ResizeMode::InPlace, WaySizing::PerWay));
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => { table.insert(k, v); }
+                Op::Remove(k) => { table.remove(&k); }
+                Op::Get(k) => { table.get(&k); }
+            }
+            let caps = table.way_capacities();
+            let min = *caps.iter().min().unwrap();
+            let max = *caps.iter().max().unwrap();
+            prop_assert!(max <= 2 * min, "imbalanced ways: {:?}", caps);
+        }
+    }
+
+    #[test]
+    fn load_factor_bounded_under_any_workload(
+        ops in proptest::collection::vec(op_strategy(), 0..1500)
+    ) {
+        for cfg in [
+            config(ResizeMode::OutOfPlace, WaySizing::AllWay),
+            config(ResizeMode::InPlace, WaySizing::PerWay),
+        ] {
+            let mut table = ElasticCuckooTable::new(cfg);
+            for op in &ops {
+                match op {
+                    Op::Insert(k, v) => { table.insert(*k, *v); }
+                    Op::Remove(k) => { table.remove(k); }
+                    Op::Get(k) => { table.get(k); }
+                }
+                prop_assert!(table.load_factor() <= 0.85,
+                    "load factor {}", table.load_factor());
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+use core::fmt;
+
+use mehpt_types::ByteSize;
+
+/// Failure to allocate contiguous physical memory.
+///
+/// Reproduces the paper's observation that "when we increase the memory
+/// fragmentation over 0.7 in the FMFI metric, the system is unable to
+/// allocate 64MB of contiguous memory and returns an error. Consequently,
+/// the ECPT runs are unable to finish."
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AllocError {
+    /// Not enough free memory remains at all.
+    OutOfMemory {
+        /// The size of the failed request in bytes.
+        requested: u64,
+    },
+    /// Enough memory is free, but no contiguous block of the requested size
+    /// exists and compaction could not create one (unmovable pages in the
+    /// way).
+    TooFragmented {
+        /// The size of the failed request in bytes.
+        requested: u64,
+        /// The FMFI at the requested order when the allocation failed.
+        fmfi: f64,
+    },
+}
+
+impl AllocError {
+    /// The size of the failed request in bytes.
+    pub fn requested(&self) -> u64 {
+        match *self {
+            AllocError::OutOfMemory { requested } | AllocError::TooFragmented { requested, .. } => {
+                requested
+            }
+        }
+    }
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            AllocError::OutOfMemory { requested } => {
+                write!(f, "out of memory allocating {}", ByteSize(requested))
+            }
+            AllocError::TooFragmented { requested, fmfi } => write!(
+                f,
+                "no contiguous {} block available at FMFI {:.2} and compaction failed",
+                ByteSize(requested),
+                fmfi
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = AllocError::OutOfMemory { requested: 4096 };
+        assert_eq!(e.to_string(), "out of memory allocating 4KB");
+        let e = AllocError::TooFragmented {
+            requested: 64 << 20,
+            fmfi: 0.75,
+        };
+        assert!(e.to_string().contains("64MB"));
+        assert!(e.to_string().contains("0.75"));
+    }
+
+    #[test]
+    fn requested_accessor() {
+        assert_eq!(AllocError::OutOfMemory { requested: 7 }.requested(), 7);
+    }
+
+    #[test]
+    fn is_error_and_send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<AllocError>();
+    }
+}

@@ -1,0 +1,212 @@
+use mehpt_types::rng::Xoshiro256;
+
+use crate::phys::{AllocTag, Chunk, PhysMem, FMFI_REF_ORDER};
+
+/// Drives physical memory to a target fragmentation level.
+///
+/// Reproduces the paper's methodology (Section III / VI): "We conduct
+/// experiments on a Linux-based server with different fragmentation levels
+/// using an open-source fragmentation tool" at 0.7 FMFI. The fragmenter pins
+/// single 4KB frames scattered across memory — one inside a fraction of the
+/// 2MB-aligned regions — which is exactly what breaks huge contiguous
+/// allocations on real machines while consuming almost no memory itself.
+///
+/// Pins are *movable* (the OS can migrate them during compaction, at a cost)
+/// up to 0.7 FMFI. Beyond 0.7, a growing fraction of pins is unmovable, so
+/// 64MB allocations start failing outright — matching the paper's
+/// observation that above 0.7 FMFI the ECPT runs cannot finish.
+///
+/// # Examples
+///
+/// ```
+/// use mehpt_mem::{Fragmenter, PhysMem};
+/// use mehpt_types::rng::Xoshiro256;
+/// use mehpt_types::GIB;
+///
+/// let mut mem = PhysMem::new(GIB);
+/// let mut rng = Xoshiro256::seed_from_u64(1);
+/// let _frag = Fragmenter::fragment(&mut mem, 0.7, &mut rng);
+/// assert!((mem.fmfi() - 0.7).abs() < 0.05);
+/// ```
+#[derive(Debug)]
+pub struct Fragmenter {
+    pins: Vec<Chunk>,
+}
+
+impl Fragmenter {
+    /// The FMFI level up to which all pinned ballast remains movable.
+    pub const MOVABLE_LIMIT: f64 = 0.7;
+
+    /// Fragments `mem` until its scalar FMFI is within ~0.01 of
+    /// `target_fmfi` (clamped to `[0, 0.99]`).
+    ///
+    /// Deterministic for a given `rng` state. Returns the fragmenter, which
+    /// owns the pinned ballast; dropping it *leaks* the pins into the
+    /// simulation (intended — the machine stays fragmented), while
+    /// [`Fragmenter::release`] undoes the fragmentation.
+    pub fn fragment(mem: &mut PhysMem, target_fmfi: f64, rng: &mut Xoshiro256) -> Fragmenter {
+        let target = target_fmfi.clamp(0.0, 0.99);
+        let region_frames = 1u64 << FMFI_REF_ORDER;
+        let regions = mem.total_bytes() / crate::FRAME_BYTES / region_frames;
+        let unmovable_p =
+            ((target - Self::MOVABLE_LIMIT) / (1.0 - Self::MOVABLE_LIMIT)).clamp(0.0, 1.0);
+        let mut pins = Vec::new();
+        // First pass: pin one random frame in each region with probability
+        // `target` — this lands the FMFI close to the target.
+        for region in 0..regions {
+            if rng.next_bool(target) {
+                Self::pin_in_region(mem, region, region_frames, unmovable_p, rng, &mut pins);
+            }
+        }
+        // Refinement: nudge toward the target.
+        for _ in 0..(4 * regions).max(16) {
+            let fmfi = mem.fmfi();
+            if (fmfi - target).abs() <= 0.01 {
+                break;
+            }
+            if fmfi < target {
+                let region = rng.next_below(regions.max(1));
+                Self::pin_in_region(mem, region, region_frames, unmovable_p, rng, &mut pins);
+            } else if let Some(chunk) = pins.pop() {
+                mem.free(chunk);
+            } else {
+                break;
+            }
+        }
+        Fragmenter { pins }
+    }
+
+    fn pin_in_region(
+        mem: &mut PhysMem,
+        region: u64,
+        region_frames: u64,
+        unmovable_p: f64,
+        rng: &mut Xoshiro256,
+        pins: &mut Vec<Chunk>,
+    ) {
+        let tag = if rng.next_bool(unmovable_p) {
+            AllocTag::PinnedUnmovable
+        } else {
+            AllocTag::PinnedMovable
+        };
+        // Try a few random frames within the region; occupied ones are skipped.
+        for _ in 0..8 {
+            let frame = region * region_frames + rng.next_below(region_frames);
+            if let Some(chunk) = mem.alloc_frame_at(frame, tag) {
+                pins.push(chunk);
+                return;
+            }
+        }
+    }
+
+    /// The number of pinned frames currently held.
+    pub fn pin_count(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Releases all ballast, defragmenting the memory again.
+    pub fn release(self, mem: &mut PhysMem) {
+        for chunk in self.pins {
+            // Compaction may have migrated a movable pin; its chunk handle
+            // is stale then. Look the current location up by scanning is
+            // overkill — movable pins that migrated were re-tagged under the
+            // same tag, so `free` by handle only works for never-moved pins.
+            // The fragmenter is only released in tests on un-compacted
+            // memories; tolerate stale handles by skipping them.
+            if mem
+                .buddy()
+                .is_allocated(chunk.base().0 / crate::FRAME_BYTES, 0)
+            {
+                mem.free(chunk);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AllocCostModel;
+    use mehpt_types::{GIB, MIB};
+
+    fn mem(bytes: u64) -> PhysMem {
+        PhysMem::with_cost_model(bytes, AllocCostModel::zero_cost())
+    }
+
+    #[test]
+    fn hits_target_fmfi() {
+        for target in [0.0, 0.3, 0.5, 0.7, 0.9] {
+            let mut m = mem(GIB);
+            let mut rng = Xoshiro256::seed_from_u64(42);
+            Fragmenter::fragment(&mut m, target, &mut rng);
+            assert!(
+                (m.fmfi() - target).abs() < 0.05,
+                "target {target}, got {}",
+                m.fmfi()
+            );
+        }
+    }
+
+    #[test]
+    fn ballast_memory_is_tiny() {
+        let mut m = mem(GIB);
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let frag = Fragmenter::fragment(&mut m, 0.7, &mut rng);
+        // One 4KB pin per 2MB region at most a few times over.
+        assert!(frag.pin_count() < 2 * 512);
+        assert!(m.free_bytes() > m.total_bytes() * 9 / 10);
+    }
+
+    #[test]
+    fn at_0_7_large_allocations_succeed_via_compaction() {
+        let mut m = mem(GIB);
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        Fragmenter::fragment(&mut m, 0.7, &mut rng);
+        let chunk = m.alloc(64 * MIB, AllocTag::PageTable);
+        assert!(chunk.is_ok(), "64MB at 0.7 FMFI must succeed: {chunk:?}");
+        assert!(m.stats().compactions >= 1);
+    }
+
+    #[test]
+    fn beyond_0_7_large_allocations_fail() {
+        // The paper: "when we increase the memory fragmentation over 0.7 ...
+        // the system is unable to allocate 64MB of contiguous memory".
+        let mut m = mem(GIB);
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        Fragmenter::fragment(&mut m, 0.9, &mut rng);
+        let res = m.alloc(64 * MIB, AllocTag::PageTable);
+        assert!(res.is_err(), "64MB at 0.9 FMFI must fail");
+    }
+
+    #[test]
+    fn small_allocations_always_succeed() {
+        let mut m = mem(GIB);
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        Fragmenter::fragment(&mut m, 0.9, &mut rng);
+        for _ in 0..100 {
+            assert!(m.alloc(8 * 1024, AllocTag::PageTable).is_ok());
+        }
+    }
+
+    #[test]
+    fn release_restores_memory() {
+        let mut m = mem(64 * MIB);
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let before = m.free_bytes();
+        let frag = Fragmenter::fragment(&mut m, 0.5, &mut rng);
+        assert!(m.free_bytes() < before);
+        frag.release(&mut m);
+        assert_eq!(m.free_bytes(), before);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut m = mem(GIB);
+            let mut rng = Xoshiro256::seed_from_u64(seed);
+            let f = Fragmenter::fragment(&mut m, 0.6, &mut rng);
+            (f.pin_count(), m.fmfi())
+        };
+        assert_eq!(run(11), run(11));
+    }
+}

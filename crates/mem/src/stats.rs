@@ -1,0 +1,100 @@
+use crate::phys::AllocTag;
+
+/// Per-tag allocation statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TagStats {
+    /// Bytes currently allocated under this tag.
+    pub current_bytes: u64,
+    /// High-water mark of `current_bytes`.
+    pub peak_bytes: u64,
+    /// The largest single contiguous allocation ever made under this tag.
+    ///
+    /// For the `PageTable` tag this is exactly the paper's "maximum size of
+    /// the contiguous memory allocated" metric (Table I columns 3–4,
+    /// Figure 8).
+    pub max_contiguous_bytes: u64,
+    /// Number of successful allocations.
+    pub alloc_count: u64,
+    /// Number of frees.
+    pub free_count: u64,
+    /// Total cycles spent allocating and zeroing under this tag.
+    pub alloc_cycles: u64,
+}
+
+/// Statistics maintained by [`PhysMem`](crate::PhysMem).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MemStats {
+    per_tag: [TagStats; AllocTag::COUNT],
+    /// Number of times the allocator had to compact memory to satisfy a
+    /// contiguous request.
+    pub compactions: u64,
+    /// Bytes relocated by compaction.
+    pub compaction_moved_bytes: u64,
+    /// Number of allocation requests that failed even after compaction.
+    pub failed_allocs: u64,
+}
+
+impl MemStats {
+    /// The statistics for one allocation tag.
+    pub fn tag(&self, tag: AllocTag) -> &TagStats {
+        &self.per_tag[tag.index()]
+    }
+
+    pub(crate) fn tag_mut(&mut self, tag: AllocTag) -> &mut TagStats {
+        &mut self.per_tag[tag.index()]
+    }
+
+    /// Total bytes currently allocated across all tags.
+    pub fn current_bytes(&self) -> u64 {
+        self.per_tag.iter().map(|t| t.current_bytes).sum()
+    }
+
+    /// Total cycles spent in the allocator across all tags.
+    pub fn total_alloc_cycles(&self) -> u64 {
+        self.per_tag.iter().map(|t| t.alloc_cycles).sum()
+    }
+
+    pub(crate) fn record_alloc(&mut self, tag: AllocTag, bytes: u64, cycles: u64) {
+        let t = self.tag_mut(tag);
+        t.current_bytes += bytes;
+        t.peak_bytes = t.peak_bytes.max(t.current_bytes);
+        t.max_contiguous_bytes = t.max_contiguous_bytes.max(bytes);
+        t.alloc_count += 1;
+        t.alloc_cycles += cycles;
+    }
+
+    pub(crate) fn record_free(&mut self, tag: AllocTag, bytes: u64) {
+        let t = self.tag_mut(tag);
+        t.current_bytes -= bytes;
+        t.free_count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_accounting() {
+        let mut s = MemStats::default();
+        s.record_alloc(AllocTag::PageTable, 4096, 100);
+        s.record_alloc(AllocTag::PageTable, 8192, 200);
+        s.record_free(AllocTag::PageTable, 4096);
+        let t = s.tag(AllocTag::PageTable);
+        assert_eq!(t.current_bytes, 8192);
+        assert_eq!(t.peak_bytes, 12288);
+        assert_eq!(t.max_contiguous_bytes, 8192);
+        assert_eq!(t.alloc_count, 2);
+        assert_eq!(t.free_count, 1);
+        assert_eq!(t.alloc_cycles, 300);
+    }
+
+    #[test]
+    fn tags_are_independent() {
+        let mut s = MemStats::default();
+        s.record_alloc(AllocTag::Data, 4096, 1);
+        assert_eq!(s.tag(AllocTag::PageTable).current_bytes, 0);
+        assert_eq!(s.tag(AllocTag::Data).current_bytes, 4096);
+        assert_eq!(s.current_bytes(), 4096);
+    }
+}

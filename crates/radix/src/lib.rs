@@ -1,0 +1,33 @@
+//! The radix-tree page-table baseline (x86-64 4-level).
+//!
+//! The paper's "Radix" comparison point (Sections II-A and VII-B): a
+//! PGD → PUD → PMD → PTE tree walked level by level on a TLB miss, with
+//! 2MB (PMD) and 1GB (PUD) leaf entries for huge pages, page-walk caches
+//! ([`RadixWalker`]) that skip the upper levels when they hit, and node
+//! allocation one 4KB frame at a time from
+//! [`PhysMem`](mehpt_mem::PhysMem) — which is why radix tables never need
+//! large contiguous allocations (Table I's "4KB" contiguity column).
+//!
+//! # Examples
+//!
+//! ```
+//! use mehpt_mem::PhysMem;
+//! use mehpt_radix::RadixPageTable;
+//! use mehpt_types::{PageSize, Ppn, VirtAddr, MIB};
+//!
+//! let mut mem = PhysMem::new(64 * MIB);
+//! let mut pt = RadixPageTable::new(&mut mem)?;
+//! let va = VirtAddr::new(0x7f12_3456_7000);
+//! pt.map(va.vpn(PageSize::Base4K), PageSize::Base4K, Ppn(42), &mut mem)?;
+//! assert_eq!(pt.translate(va), Some((Ppn(42), PageSize::Base4K)));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod table;
+mod walker;
+
+pub use table::{MapError, RadixPageTable};
+pub use walker::{RadixWalker, WalkResult};

@@ -1,0 +1,510 @@
+use core::fmt;
+
+use mehpt_mem::{AllocError, AllocTag, Chunk, PhysMem};
+use mehpt_types::{PageSize, PhysAddr, Ppn, VirtAddr, Vpn};
+
+/// Entries per radix node (512 × 8B = one 4KB frame).
+pub(crate) const FANOUT: usize = 512;
+
+const TAG_NODE: u64 = 1 << 63;
+const TAG_LEAF: u64 = 1 << 62;
+const PAYLOAD_MASK: u64 = (1 << 62) - 1;
+
+/// One step of a page walk, as seen by the hardware walker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Step {
+    /// The entry points at a next-level node.
+    Node,
+    /// The entry is a leaf translation.
+    Leaf(Ppn, PageSize),
+    /// The entry is empty: page fault.
+    Empty,
+}
+
+/// An x86-64 radix page table: 4 levels (PGD → PUD → PMD → PTE, 48-bit VA)
+/// or 5 levels (la57-style, as in Intel Sunny Cove — the scalability trend
+/// the paper's introduction warns about: each extra level is another
+/// dependent memory access on a cold walk).
+///
+/// Functionally complete: maps and unmaps 4KB, 2MB and 1GB pages (huge
+/// pages terminate the tree early at the PMD or PUD level), allocates nodes
+/// one 4KB frame at a time, and frees nodes that become empty. The timed
+/// walk — with page-walk caches — lives in
+/// [`RadixWalker`](crate::RadixWalker).
+#[derive(Debug)]
+pub struct RadixPageTable {
+    /// Slot-allocated nodes; `None` marks freed slots for reuse.
+    nodes: Vec<Option<Node>>,
+    free_ids: Vec<usize>,
+    root: usize,
+    mapped_pages: u64,
+    levels: usize,
+}
+
+#[derive(Debug)]
+struct Node {
+    entries: Box<[u64]>,
+    chunk: Chunk,
+    used: u16,
+}
+
+/// Failure to map a page.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MapError {
+    /// A page-table node could not be allocated.
+    Alloc(AllocError),
+    /// The mapping collides with an existing one (e.g. a 4KB page inside an
+    /// established 1GB mapping, or an already-mapped VPN).
+    Conflict {
+        /// The VPN that could not be mapped.
+        vpn: Vpn,
+        /// The page size of the attempted mapping.
+        page_size: PageSize,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MapError::Alloc(e) => write!(f, "page-table node allocation failed: {e}"),
+            MapError::Conflict { vpn, page_size } => {
+                write!(f, "mapping conflict at vpn {vpn} ({page_size})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+impl From<AllocError> for MapError {
+    fn from(e: AllocError) -> MapError {
+        MapError::Alloc(e)
+    }
+}
+
+impl RadixPageTable {
+    /// Creates an empty 4-level table, allocating the root (PGD) node.
+    ///
+    /// # Errors
+    ///
+    /// Returns the allocation error if no 4KB frame is available.
+    pub fn new(mem: &mut PhysMem) -> Result<RadixPageTable, AllocError> {
+        RadixPageTable::with_levels(4, mem)
+    }
+
+    /// Creates an empty table with 4 or 5 levels. Five levels models
+    /// la57-style extended paging: one more dependent access per cold walk.
+    ///
+    /// # Errors
+    ///
+    /// Returns the allocation error if no 4KB frame is available.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `levels` is 4 or 5.
+    pub fn with_levels(levels: usize, mem: &mut PhysMem) -> Result<RadixPageTable, AllocError> {
+        assert!(levels == 4 || levels == 5, "radix trees have 4 or 5 levels");
+        let mut table = RadixPageTable {
+            nodes: Vec::new(),
+            free_ids: Vec::new(),
+            root: 0,
+            mapped_pages: 0,
+            levels,
+        };
+        table.root = table.alloc_node(mem)?;
+        Ok(table)
+    }
+
+    /// The number of tree levels (4 or 5).
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    fn alloc_node(&mut self, mem: &mut PhysMem) -> Result<usize, AllocError> {
+        let chunk = mem.alloc(4096, AllocTag::PageTable)?;
+        let node = Node {
+            entries: vec![0u64; FANOUT].into_boxed_slice(),
+            chunk,
+            used: 0,
+        };
+        match self.free_ids.pop() {
+            Some(id) => {
+                self.nodes[id] = Some(node);
+                Ok(id)
+            }
+            None => {
+                self.nodes.push(Some(node));
+                Ok(self.nodes.len() - 1)
+            }
+        }
+    }
+
+    fn free_node(&mut self, id: usize, mem: &mut PhysMem) {
+        let node = self.nodes[id].take().expect("freeing a live node");
+        debug_assert_eq!(node.used, 0, "freeing a non-empty node");
+        mem.free(node.chunk);
+        self.free_ids.push(id);
+    }
+
+    fn node(&self, id: usize) -> &Node {
+        self.nodes[id].as_ref().expect("dangling node id")
+    }
+
+    fn node_mut(&mut self, id: usize) -> &mut Node {
+        self.nodes[id].as_mut().expect("dangling node id")
+    }
+
+    /// The tree level a leaf of the given page size sits at (counted from
+    /// the root: the PTE level is the deepest).
+    fn leaf_level(&self, ps: PageSize) -> usize {
+        self.levels
+            - match ps {
+                PageSize::Base4K => 1,
+                PageSize::Huge2M => 2,
+                PageSize::Giant1G => 3,
+            }
+    }
+
+    /// The node index selected by `va` at tree `level`.
+    fn index(&self, va: VirtAddr, level: usize) -> usize {
+        let shift = 12 + 9 * (self.levels - 1 - level);
+        ((va.0 >> shift) & 0x1ff) as usize
+    }
+
+    /// Maps `vpn` (of size `ps`) to `ppn`, allocating intermediate nodes on
+    /// demand.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::Conflict`] if the slot is occupied (already mapped, or
+    /// covered by a larger page, or an intermediate node sits where a huge
+    /// leaf must go); [`MapError::Alloc`] if a node allocation fails.
+    pub fn map(
+        &mut self,
+        vpn: Vpn,
+        ps: PageSize,
+        ppn: Ppn,
+        mem: &mut PhysMem,
+    ) -> Result<(), MapError> {
+        let va = vpn.base_addr(ps);
+        let leaf_level = self.leaf_level(ps);
+        let mut node_id = self.root;
+        for level in 0..leaf_level {
+            let idx = self.index(va, level);
+            let entry = self.node(node_id).entries[idx];
+            node_id = if entry == 0 {
+                let child = self.alloc_node(mem)?;
+                let node = self.node_mut(node_id);
+                node.entries[idx] = TAG_NODE | child as u64;
+                node.used += 1;
+                child
+            } else if entry & TAG_NODE != 0 {
+                (entry & PAYLOAD_MASK) as usize
+            } else {
+                // A (huge) leaf already covers this range.
+                return Err(MapError::Conflict { vpn, page_size: ps });
+            };
+        }
+        let idx = self.index(va, leaf_level);
+        let node = self.node_mut(node_id);
+        if node.entries[idx] != 0 {
+            return Err(MapError::Conflict { vpn, page_size: ps });
+        }
+        node.entries[idx] = TAG_LEAF | ppn.0;
+        node.used += 1;
+        self.mapped_pages += 1;
+        Ok(())
+    }
+
+    /// Unmaps `vpn` (of size `ps`); returns the previous translation, if
+    /// any. Nodes that become empty are freed back to physical memory.
+    pub fn unmap(&mut self, vpn: Vpn, ps: PageSize, mem: &mut PhysMem) -> Option<Ppn> {
+        let va = vpn.base_addr(ps);
+        let leaf_level = self.leaf_level(ps);
+        // Record the path for post-removal pruning.
+        let mut path = Vec::with_capacity(4);
+        let mut node_id = self.root;
+        for level in 0..leaf_level {
+            let idx = self.index(va, level);
+            let entry = self.node(node_id).entries[idx];
+            if entry & TAG_NODE == 0 {
+                return None;
+            }
+            path.push((node_id, idx));
+            node_id = (entry & PAYLOAD_MASK) as usize;
+        }
+        let idx = self.index(va, leaf_level);
+        let node = self.node_mut(node_id);
+        let entry = node.entries[idx];
+        if entry & TAG_LEAF == 0 {
+            return None;
+        }
+        node.entries[idx] = 0;
+        node.used -= 1;
+        self.mapped_pages -= 1;
+        let ppn = Ppn(entry & PAYLOAD_MASK);
+        // Prune now-empty nodes bottom-up (never the root).
+        let mut child = node_id;
+        for &(parent, pidx) in path.iter().rev() {
+            if self.node(child).used != 0 || child == self.root {
+                break;
+            }
+            self.free_node(child, mem);
+            let pnode = self.node_mut(parent);
+            pnode.entries[pidx] = 0;
+            pnode.used -= 1;
+            child = parent;
+        }
+        Some(ppn)
+    }
+
+    /// Rewrites the physical page of an existing mapping (page migration
+    /// during compaction). Returns `false` if `vpn` is not mapped at `ps`.
+    pub fn remap(&mut self, vpn: Vpn, ps: PageSize, ppn: Ppn) -> bool {
+        let va = vpn.base_addr(ps);
+        let leaf_level = self.leaf_level(ps);
+        let mut node_id = self.root;
+        for level in 0..leaf_level {
+            let idx = self.index(va, level);
+            let entry = self.node(node_id).entries[idx];
+            if entry & TAG_NODE == 0 {
+                return false;
+            }
+            node_id = (entry & PAYLOAD_MASK) as usize;
+        }
+        let idx = self.index(va, leaf_level);
+        let node = self.node_mut(node_id);
+        if node.entries[idx] & TAG_LEAF == 0 {
+            return false;
+        }
+        node.entries[idx] = TAG_LEAF | ppn.0;
+        true
+    }
+
+    /// Translates a virtual address functionally (no timing).
+    pub fn translate(&self, va: VirtAddr) -> Option<(Ppn, PageSize)> {
+        let mut node_id = self.root;
+        for level in 0..self.levels {
+            let idx = self.index(va, level);
+            let entry = self.node(node_id).entries[idx];
+            if entry == 0 {
+                return None;
+            }
+            if entry & TAG_LEAF != 0 {
+                let ps = match self.levels - level {
+                    3 => PageSize::Giant1G,
+                    2 => PageSize::Huge2M,
+                    1 => PageSize::Base4K,
+                    _ => return None, // no leaves above the 1GB level
+                };
+                return Some((Ppn(entry & PAYLOAD_MASK), ps));
+            }
+            node_id = (entry & PAYLOAD_MASK) as usize;
+        }
+        None
+    }
+
+    /// The page-walk path for `va`: the physical address of the entry read
+    /// at each level, and what the walker finds there. Used by
+    /// [`RadixWalker`](crate::RadixWalker) to charge memory-access latency.
+    pub(crate) fn walk_path(&self, va: VirtAddr) -> Vec<(PhysAddr, Step)> {
+        let mut steps = Vec::with_capacity(self.levels);
+        let mut node_id = self.root;
+        for level in 0..self.levels {
+            let idx = self.index(va, level);
+            let node = self.node(node_id);
+            let addr = node.chunk.addr(idx as u64 * 8);
+            let entry = node.entries[idx];
+            if entry == 0 {
+                steps.push((addr, Step::Empty));
+                return steps;
+            }
+            if entry & TAG_LEAF != 0 {
+                let ps = match self.levels - level {
+                    3 => PageSize::Giant1G,
+                    2 => PageSize::Huge2M,
+                    _ => PageSize::Base4K,
+                };
+                steps.push((addr, Step::Leaf(Ppn(entry & PAYLOAD_MASK), ps)));
+                return steps;
+            }
+            steps.push((addr, Step::Node));
+            node_id = (entry & PAYLOAD_MASK) as usize;
+        }
+        steps
+    }
+
+    /// The number of mapped pages (all sizes).
+    pub fn mapped_pages(&self) -> u64 {
+        self.mapped_pages
+    }
+
+    /// The number of live page-table nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_some()).count()
+    }
+
+    /// Total page-table memory in bytes (4KB per node) — Table I's
+    /// "Page Table Total Memory, Tree" column.
+    pub fn memory_bytes(&self) -> u64 {
+        self.node_count() as u64 * 4096
+    }
+
+    /// Releases every node back to physical memory.
+    pub fn destroy(mut self, mem: &mut PhysMem) {
+        for node in self.nodes.iter_mut() {
+            if let Some(n) = node.take() {
+                mem.free(n.chunk);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mehpt_mem::AllocCostModel;
+    use mehpt_types::{GIB, MIB};
+
+    fn mem() -> PhysMem {
+        PhysMem::with_cost_model(GIB, AllocCostModel::zero_cost())
+    }
+
+    #[test]
+    fn map_translate_4k() {
+        let mut m = mem();
+        let mut pt = RadixPageTable::new(&mut m).unwrap();
+        let va = VirtAddr::new(0x7fff_1234_5678);
+        pt.map(va.vpn(PageSize::Base4K), PageSize::Base4K, Ppn(7), &mut m)
+            .unwrap();
+        assert_eq!(pt.translate(va), Some((Ppn(7), PageSize::Base4K)));
+        assert_eq!(pt.translate(VirtAddr::new(0x1000)), None);
+        // Root + PUD + PMD + PTE nodes.
+        assert_eq!(pt.node_count(), 4);
+    }
+
+    #[test]
+    fn huge_pages_terminate_early() {
+        let mut m = mem();
+        let mut pt = RadixPageTable::new(&mut m).unwrap();
+        let va2m = VirtAddr::new(2 * MIB as u64 * 9);
+        pt.map(va2m.vpn(PageSize::Huge2M), PageSize::Huge2M, Ppn(3), &mut m)
+            .unwrap();
+        assert_eq!(pt.translate(va2m + 4096), Some((Ppn(3), PageSize::Huge2M)));
+        // Root + PUD + PMD: no PTE level for a 2MB leaf.
+        assert_eq!(pt.node_count(), 3);
+        let va1g = VirtAddr::new(5 * GIB);
+        pt.map(
+            va1g.vpn(PageSize::Giant1G),
+            PageSize::Giant1G,
+            Ppn(8),
+            &mut m,
+        )
+        .unwrap();
+        assert_eq!(
+            pt.translate(va1g + 123 * MIB),
+            Some((Ppn(8), PageSize::Giant1G))
+        );
+    }
+
+    #[test]
+    fn conflicts_are_rejected() {
+        let mut m = mem();
+        let mut pt = RadixPageTable::new(&mut m).unwrap();
+        let va = VirtAddr::new(0x4000_0000);
+        pt.map(va.vpn(PageSize::Huge2M), PageSize::Huge2M, Ppn(1), &mut m)
+            .unwrap();
+        // Same VPN again.
+        let err = pt
+            .map(va.vpn(PageSize::Huge2M), PageSize::Huge2M, Ppn(2), &mut m)
+            .unwrap_err();
+        assert!(matches!(err, MapError::Conflict { .. }));
+        // A 4KB page underneath the 2MB leaf.
+        let err = pt
+            .map(va.vpn(PageSize::Base4K), PageSize::Base4K, Ppn(3), &mut m)
+            .unwrap_err();
+        assert!(matches!(err, MapError::Conflict { .. }));
+    }
+
+    #[test]
+    fn unmap_restores_and_prunes() {
+        let mut m = mem();
+        let used0 = m.stats().tag(AllocTag::PageTable).current_bytes;
+        let mut pt = RadixPageTable::new(&mut m).unwrap();
+        let va = VirtAddr::new(0x1234_5000);
+        pt.map(va.vpn(PageSize::Base4K), PageSize::Base4K, Ppn(9), &mut m)
+            .unwrap();
+        assert_eq!(
+            pt.unmap(va.vpn(PageSize::Base4K), PageSize::Base4K, &mut m),
+            Some(Ppn(9))
+        );
+        assert_eq!(pt.translate(va), None);
+        assert_eq!(pt.node_count(), 1, "interior nodes must be pruned");
+        assert_eq!(pt.mapped_pages(), 0);
+        // Unmapping again is a no-op.
+        assert_eq!(
+            pt.unmap(va.vpn(PageSize::Base4K), PageSize::Base4K, &mut m),
+            None
+        );
+        pt.destroy(&mut m);
+        assert_eq!(m.stats().tag(AllocTag::PageTable).current_bytes, used0);
+    }
+
+    #[test]
+    fn contiguous_allocation_is_one_frame() {
+        let mut m = mem();
+        let mut pt = RadixPageTable::new(&mut m).unwrap();
+        for i in 0..10_000u64 {
+            let va = VirtAddr::new(i * 4096 * 513); // scatter across PMDs
+            pt.map(va.vpn(PageSize::Base4K), PageSize::Base4K, Ppn(i), &mut m)
+                .unwrap();
+        }
+        assert_eq!(
+            m.stats().tag(AllocTag::PageTable).max_contiguous_bytes,
+            4096
+        );
+        assert!(pt.memory_bytes() > 10_000 * 8);
+    }
+
+    #[test]
+    fn dense_mappings_share_nodes() {
+        let mut m = mem();
+        let mut pt = RadixPageTable::new(&mut m).unwrap();
+        for i in 0..512u64 {
+            pt.map(Vpn(i), PageSize::Base4K, Ppn(i), &mut m).unwrap();
+        }
+        // 512 dense pages fit one PTE node: root + PUD + PMD + 1 PTE.
+        assert_eq!(pt.node_count(), 4);
+        assert_eq!(pt.mapped_pages(), 512);
+    }
+
+    #[test]
+    fn remap_updates_existing_leaves_only() {
+        let mut m = mem();
+        let mut pt = RadixPageTable::new(&mut m).unwrap();
+        let va = VirtAddr::new(0x7000);
+        let vpn = va.vpn(PageSize::Base4K);
+        assert!(!pt.remap(vpn, PageSize::Base4K, Ppn(5)));
+        pt.map(vpn, PageSize::Base4K, Ppn(5), &mut m).unwrap();
+        assert!(pt.remap(vpn, PageSize::Base4K, Ppn(6)));
+        assert_eq!(pt.translate(va), Some((Ppn(6), PageSize::Base4K)));
+        assert_eq!(pt.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn walk_path_depth_matches_page_size() {
+        let mut m = mem();
+        let mut pt = RadixPageTable::new(&mut m).unwrap();
+        let va4k = VirtAddr::new(0x1000);
+        let va2m = VirtAddr::new(0x4000_0000);
+        pt.map(va4k.vpn(PageSize::Base4K), PageSize::Base4K, Ppn(1), &mut m)
+            .unwrap();
+        pt.map(va2m.vpn(PageSize::Huge2M), PageSize::Huge2M, Ppn(2), &mut m)
+            .unwrap();
+        assert_eq!(pt.walk_path(va4k).len(), 4);
+        assert_eq!(pt.walk_path(va2m).len(), 3);
+        let missing = pt.walk_path(VirtAddr::new(0x8000_0000_0000 - 4096));
+        assert_eq!(missing.len(), 1);
+        assert_eq!(missing[0].1, Step::Empty);
+    }
+}

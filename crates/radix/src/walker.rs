@@ -1,0 +1,298 @@
+use mehpt_tlb::{MemoryModel, SetAssocCache};
+use mehpt_types::{PageSize, Ppn, VirtAddr};
+
+use crate::table::Step;
+use crate::RadixPageTable;
+
+/// The outcome of one timed page walk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalkResult {
+    /// The translation found, or `None` on a page fault.
+    pub translation: Option<(Ppn, PageSize)>,
+    /// Total walk latency in cycles (PWC probe + memory accesses).
+    pub cycles: u64,
+    /// Memory accesses performed (the paper's "up to four memory accesses
+    /// in sequence").
+    pub memory_accesses: u32,
+}
+
+/// The hardware radix page walker with page-walk caches.
+///
+/// Models Table III's PWC: "3 levels, 32 entries/level, 4 cycles RT, fully
+/// associative". `pwc[0]` caches PGD entries (keyed by `VA[47:39]`),
+/// `pwc[1]` PUD entries (`VA[47:30]`), `pwc[2]` PMD entries (`VA[47:21]`).
+/// A hit in the deepest level skips all upper-level memory accesses, so a
+/// warm 4KB walk is a single PTE access; a cold walk takes four dependent
+/// accesses — the radix scalability problem the paper opens with.
+///
+/// # Examples
+///
+/// ```
+/// use mehpt_mem::PhysMem;
+/// use mehpt_radix::{RadixPageTable, RadixWalker};
+/// use mehpt_tlb::MemoryModel;
+/// use mehpt_types::{PageSize, Ppn, VirtAddr, MIB};
+///
+/// let mut mem = PhysMem::new(64 * MIB);
+/// let mut pt = RadixPageTable::new(&mut mem)?;
+/// let va = VirtAddr::new(0x5000_1000);
+/// pt.map(va.vpn(PageSize::Base4K), PageSize::Base4K, Ppn(1), &mut mem)?;
+///
+/// let mut walker = RadixWalker::paper_default();
+/// let mut dram = MemoryModel::paper_default();
+/// let cold = walker.walk(&pt, va, &mut dram);
+/// assert_eq!(cold.memory_accesses, 4);
+/// let warm = walker.walk(&pt, va, &mut dram);
+/// assert_eq!(warm.memory_accesses, 1); // PWC skips to the PTE level
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct RadixWalker {
+    /// One cache per non-leaf tree level (up to 4 for a 5-level tree).
+    pwc: Vec<SetAssocCache>,
+    pwc_latency: u64,
+    walks: u64,
+    total_cycles: u64,
+    total_accesses: u64,
+    pwc_hits: [u64; 4],
+}
+
+impl RadixWalker {
+    /// Builds a walker with Table III's PWC geometry.
+    pub fn paper_default() -> RadixWalker {
+        RadixWalker::new(32, 4)
+    }
+
+    /// Builds a walker with `entries_per_level` fully associative PWC
+    /// entries per level and the given PWC latency in cycles.
+    pub fn new(entries_per_level: usize, pwc_latency: u64) -> RadixWalker {
+        RadixWalker {
+            pwc: (0..4)
+                .map(|_| SetAssocCache::fully_associative(entries_per_level))
+                .collect(),
+            pwc_latency,
+            walks: 0,
+            total_cycles: 0,
+            total_accesses: 0,
+            pwc_hits: [0; 4],
+        }
+    }
+
+    /// The VA prefix an entry at `level` of an `levels`-deep tree covers.
+    fn pwc_key(va: VirtAddr, level: usize, levels: usize) -> u64 {
+        va.0 >> (12 + 9 * (levels - 1 - level))
+    }
+
+    /// Performs one timed page walk for `va`.
+    ///
+    /// Memory accesses for the levels not covered by a PWC hit are charged
+    /// through `mem`; traversed node entries are installed in the PWC.
+    pub fn walk(&mut self, pt: &RadixPageTable, va: VirtAddr, mem: &mut MemoryModel) -> WalkResult {
+        self.walks += 1;
+        let levels = pt.levels();
+        let path = pt.walk_path(va);
+        // Probe the PWCs deepest-first (they are searched in parallel in
+        // hardware; one latency charge).
+        let mut cycles = self.pwc_latency;
+        let mut start_level = 0;
+        for level in (0..levels - 1).rev() {
+            // A PWC entry is only usable if the walk actually traverses a
+            // node entry at that level (i.e. the path is long enough).
+            if path.len() > level + 1 && self.pwc[level].contains(Self::pwc_key(va, level, levels))
+            {
+                self.pwc_hits[level] += 1;
+                start_level = level + 1;
+                break;
+            }
+        }
+        let mut accesses = 0;
+        for (addr, _) in path.iter().skip(start_level) {
+            cycles += mem.access(*addr);
+            accesses += 1;
+        }
+        // Install traversed node entries.
+        for (level, (_, step)) in path.iter().enumerate() {
+            if *step == Step::Node && level < levels - 1 {
+                self.pwc[level].fill(Self::pwc_key(va, level, levels));
+            }
+        }
+        let translation = match path.last() {
+            Some((_, Step::Leaf(ppn, ps))) => Some((*ppn, *ps)),
+            _ => None,
+        };
+        self.total_cycles += cycles;
+        self.total_accesses += accesses as u64;
+        WalkResult {
+            translation,
+            cycles,
+            memory_accesses: accesses,
+        }
+    }
+
+    /// Flushes the page-walk caches (context switch).
+    pub fn flush(&mut self) {
+        for c in &mut self.pwc {
+            c.flush();
+        }
+    }
+
+    /// Walks performed.
+    pub fn walks(&self) -> u64 {
+        self.walks
+    }
+
+    /// Mean memory accesses per walk.
+    pub fn mean_accesses(&self) -> f64 {
+        if self.walks == 0 {
+            return 0.0;
+        }
+        self.total_accesses as f64 / self.walks as f64
+    }
+
+    /// Mean walk latency in cycles.
+    pub fn mean_cycles(&self) -> f64 {
+        if self.walks == 0 {
+            return 0.0;
+        }
+        self.total_cycles as f64 / self.walks as f64
+    }
+
+    /// PWC hits per level, root-most first.
+    pub fn pwc_hit_counts(&self) -> [u64; 4] {
+        self.pwc_hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mehpt_mem::{AllocCostModel, PhysMem};
+    use mehpt_types::{Vpn, GIB};
+
+    fn setup() -> (PhysMem, RadixPageTable, RadixWalker, MemoryModel) {
+        let mut mem = PhysMem::with_cost_model(GIB, AllocCostModel::zero_cost());
+        let pt = RadixPageTable::new(&mut mem).unwrap();
+        (
+            mem,
+            pt,
+            RadixWalker::paper_default(),
+            MemoryModel::paper_default(),
+        )
+    }
+
+    #[test]
+    fn cold_walk_is_four_dependent_accesses() {
+        let (mut mem, mut pt, mut walker, mut dram) = setup();
+        let va = VirtAddr::new(0x7000_0000_1000);
+        pt.map(va.vpn(PageSize::Base4K), PageSize::Base4K, Ppn(5), &mut mem)
+            .unwrap();
+        let r = walker.walk(&pt, va, &mut dram);
+        assert_eq!(r.memory_accesses, 4);
+        assert_eq!(r.translation, Some((Ppn(5), PageSize::Base4K)));
+        // 4 cold memory accesses at 200 cycles + 4-cycle PWC probe.
+        assert_eq!(r.cycles, 4 + 4 * 200);
+    }
+
+    #[test]
+    fn pwc_skips_upper_levels() {
+        let (mut mem, mut pt, mut walker, mut dram) = setup();
+        let a = VirtAddr::new(0x1000);
+        let b = VirtAddr::new(0x2000); // same PTE node as `a`
+        pt.map(a.vpn(PageSize::Base4K), PageSize::Base4K, Ppn(1), &mut mem)
+            .unwrap();
+        pt.map(b.vpn(PageSize::Base4K), PageSize::Base4K, Ppn(2), &mut mem)
+            .unwrap();
+        walker.walk(&pt, a, &mut dram);
+        let r = walker.walk(&pt, b, &mut dram);
+        assert_eq!(r.memory_accesses, 1, "PMD-level PWC hit leaves one access");
+        assert_eq!(r.translation, Some((Ppn(2), PageSize::Base4K)));
+    }
+
+    #[test]
+    fn pwc_partial_hit_uses_intermediate_level() {
+        let (mut mem, mut pt, mut walker, mut dram) = setup();
+        let a = VirtAddr::new(0);
+        // Same PUD, different PMD: after walking `a`, `b` hits pwc[1].
+        let b = VirtAddr::new(2 * (1 << 21));
+        pt.map(a.vpn(PageSize::Base4K), PageSize::Base4K, Ppn(1), &mut mem)
+            .unwrap();
+        pt.map(b.vpn(PageSize::Base4K), PageSize::Base4K, Ppn(2), &mut mem)
+            .unwrap();
+        walker.walk(&pt, a, &mut dram);
+        let r = walker.walk(&pt, b, &mut dram);
+        assert_eq!(
+            r.memory_accesses, 2,
+            "PUD-level hit leaves PMD+PTE accesses"
+        );
+    }
+
+    #[test]
+    fn huge_page_walks_are_shorter() {
+        let (mut mem, mut pt, mut walker, mut dram) = setup();
+        let va = VirtAddr::new(0x8000_0000);
+        pt.map(va.vpn(PageSize::Huge2M), PageSize::Huge2M, Ppn(9), &mut mem)
+            .unwrap();
+        let r = walker.walk(&pt, va, &mut dram);
+        assert_eq!(r.memory_accesses, 3, "2MB leaf sits at the PMD level");
+        assert_eq!(r.translation, Some((Ppn(9), PageSize::Huge2M)));
+    }
+
+    #[test]
+    fn fault_walk_reports_no_translation() {
+        let (_mem, pt, mut walker, mut dram) = setup();
+        let r = walker.walk(&pt, VirtAddr::new(0xdead_0000), &mut dram);
+        assert_eq!(r.translation, None);
+        assert_eq!(r.memory_accesses, 1, "the empty PGD entry is still read");
+    }
+
+    #[test]
+    fn flush_forgets_cached_levels() {
+        let (mut mem, mut pt, mut walker, mut dram) = setup();
+        let va = VirtAddr::new(0x1000);
+        pt.map(va.vpn(PageSize::Base4K), PageSize::Base4K, Ppn(1), &mut mem)
+            .unwrap();
+        walker.walk(&pt, va, &mut dram);
+        walker.flush();
+        let r = walker.walk(&pt, va, &mut dram);
+        assert_eq!(r.memory_accesses, 4);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut mem, mut pt, mut walker, mut dram) = setup();
+        for i in 0..64u64 {
+            pt.map(Vpn(i), PageSize::Base4K, Ppn(i), &mut mem).unwrap();
+        }
+        for i in 0..64u64 {
+            walker.walk(&pt, Vpn(i).base_addr(PageSize::Base4K), &mut dram);
+        }
+        assert_eq!(walker.walks(), 64);
+        assert!(walker.mean_accesses() < 2.0, "dense pages should PWC-hit");
+        assert!(walker.mean_cycles() > 0.0);
+        assert!(walker.pwc_hit_counts()[2] > 0);
+    }
+
+    #[test]
+    fn five_level_walks_are_one_access_deeper() {
+        let mut mem = PhysMem::with_cost_model(GIB, AllocCostModel::zero_cost());
+        let mut pt4 = RadixPageTable::new(&mut mem).unwrap();
+        let mut pt5 = RadixPageTable::with_levels(5, &mut mem).unwrap();
+        let va = VirtAddr::new(0x7654_3000);
+        let vpn = va.vpn(PageSize::Base4K);
+        pt4.map(vpn, PageSize::Base4K, Ppn(1), &mut mem).unwrap();
+        pt5.map(vpn, PageSize::Base4K, Ppn(1), &mut mem).unwrap();
+        assert_eq!(pt5.translate(va), Some((Ppn(1), PageSize::Base4K)));
+        let mut w4 = RadixWalker::paper_default();
+        let mut w5 = RadixWalker::paper_default();
+        let mut d4 = MemoryModel::paper_default();
+        let mut d5 = MemoryModel::paper_default();
+        let cold4 = w4.walk(&pt4, va, &mut d4);
+        let cold5 = w5.walk(&pt5, va, &mut d5);
+        assert_eq!(cold4.memory_accesses, 4);
+        assert_eq!(cold5.memory_accesses, 5, "la57 adds a dependent access");
+        assert!(cold5.cycles > cold4.cycles);
+        // Warm walks converge: the PWC hides the extra level.
+        let warm5 = w5.walk(&pt5, va, &mut d5);
+        assert_eq!(warm5.memory_accesses, 1);
+    }
+}

@@ -1,0 +1,97 @@
+use mehpt_core::MeHptConfig;
+use mehpt_types::GIB;
+
+/// Which page-table organization a run simulates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PtKind {
+    /// x86-64 4-level radix tree with page-walk caches.
+    Radix,
+    /// The ECPT baseline (contiguous ways, out-of-place all-way resizing).
+    Ecpt,
+    /// The paper's full ME-HPT design.
+    MeHpt,
+}
+
+impl PtKind {
+    /// Display label matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            PtKind::Radix => "Radix",
+            PtKind::Ecpt => "ECPT",
+            PtKind::MeHpt => "ME-HPT",
+        }
+    }
+}
+
+/// Simulation parameters (Table III plus OS cost constants).
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Page-table organization under test.
+    pub kind: PtKind,
+    /// ME-HPT configuration (used when `kind == PtKind::MeHpt`; the
+    /// ablation benchmarks toggle its `in_place`/`per_way` switches).
+    pub mehpt: MeHptConfig,
+    /// Whether the OS backs THP-eligible regions with 2MB pages.
+    pub thp: bool,
+    /// Physical memory size (the paper's server has 64GB).
+    pub mem_bytes: u64,
+    /// Target fragmentation (FMFI at the 2MB order; the paper uses 0.7).
+    pub fragmentation: f64,
+    /// Non-translation cycles charged per memory access (compute, L1D —
+    /// calibrated so overall speedups land in the paper's range).
+    pub base_access_cycles: u64,
+    /// OS overhead per page fault, excluding allocation and page-table
+    /// insertion costs.
+    pub page_fault_cycles: u64,
+    /// OS cost of one page-table insertion (entry write + bookkeeping).
+    pub insert_cycles: u64,
+    /// OS cost per cuckoo re-insertion.
+    pub kick_cycles: u64,
+    /// OS cost per entry migrated by gradual resizing (read + rehash +
+    /// write; in-place resizing halves the number of these).
+    pub migrate_entry_cycles: u64,
+    /// Seed (fragmenter layout, etc.).
+    pub seed: u64,
+    /// Workload accesses to simulate; `None` runs the full trace.
+    pub max_accesses: Option<u64>,
+}
+
+impl SimConfig {
+    /// The paper's evaluation configuration for one page-table kind.
+    pub fn paper(kind: PtKind, thp: bool) -> SimConfig {
+        SimConfig {
+            kind,
+            mehpt: MeHptConfig::default(),
+            thp,
+            mem_bytes: 64 * GIB,
+            fragmentation: 0.7,
+            base_access_cycles: 12,
+            page_fault_cycles: 700,
+            insert_cycles: 150,
+            kick_cycles: 120,
+            migrate_entry_cycles: 80,
+            seed: 0x5eed,
+            max_accesses: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(PtKind::Radix.label(), "Radix");
+        assert_eq!(PtKind::Ecpt.label(), "ECPT");
+        assert_eq!(PtKind::MeHpt.label(), "ME-HPT");
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let c = SimConfig::paper(PtKind::Ecpt, true);
+        assert_eq!(c.mem_bytes, 64 * GIB);
+        assert!((c.fragmentation - 0.7).abs() < 1e-9);
+        assert!(c.thp);
+    }
+}

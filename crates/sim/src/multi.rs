@@ -1,0 +1,198 @@
+use mehpt_mem::{AllocTag, Fragmenter, PhysMem};
+use mehpt_tlb::{MemoryModel, TlbHierarchy};
+use mehpt_types::rng::Xoshiro256;
+use mehpt_workloads::Workload;
+
+use crate::runner::ProcState;
+use crate::{SimConfig, SimReport};
+
+/// Configuration of a multiprogrammed run.
+#[derive(Clone, Debug)]
+pub struct MultiConfig {
+    /// The per-process simulation configuration (page-table kind, THP,
+    /// cost constants). Memory size and fragmentation apply machine-wide.
+    pub base: SimConfig,
+    /// Accesses per scheduling slice before the next process runs.
+    pub time_slice: u64,
+    /// Fixed OS cost of a context switch (register state, scheduler).
+    pub switch_cycles: u64,
+    /// Cycles per 8 bytes of L2P state saved + restored on a switch
+    /// (ME-HPT only; Section V-C).
+    pub l2p_qword_cycles: u64,
+}
+
+impl MultiConfig {
+    /// Paper-flavored defaults: 50K-access slices, 1000-cycle switches.
+    pub fn paper(base: SimConfig) -> MultiConfig {
+        MultiConfig {
+            base,
+            time_slice: 50_000,
+            switch_cycles: 1_000,
+            l2p_qword_cycles: 4,
+        }
+    }
+}
+
+/// The outcome of a multiprogrammed run.
+#[derive(Clone, Debug)]
+pub struct MultiReport {
+    /// Per-process reports (same shape as single-process runs).
+    pub processes: Vec<SimReport>,
+    /// Context switches performed.
+    pub switches: u64,
+    /// Cycles spent switching (including L2P save/restore).
+    pub switch_cycles: u64,
+    /// Peak page-table memory across *all* processes simultaneously —
+    /// the multiprogrammed pressure the paper warns about (Section IV-C:
+    /// "there may potentially be several HPT resizings occurring
+    /// concurrently, consuming substantial memory").
+    pub peak_pt_bytes: u64,
+    /// Largest contiguous page-table allocation machine-wide.
+    pub max_contiguous: u64,
+}
+
+impl MultiReport {
+    /// Total cycles across processes plus switching.
+    pub fn total_cycles(&self) -> u64 {
+        self.processes.iter().map(|p| p.total_cycles).sum::<u64>() + self.switch_cycles
+    }
+}
+
+/// Runs several workloads round-robin on one core with a shared TLB and
+/// shared physical memory — each process with its own page table of the
+/// configured kind.
+///
+/// On every context switch the TLB and the incoming/outgoing process's
+/// walker caches are flushed, and (for ME-HPT) the L2P table's live
+/// entries are saved and restored at `l2p_qword_cycles` per 8 bytes.
+///
+/// # Panics
+///
+/// Panics if `workloads` is empty or the initial page tables cannot be
+/// allocated.
+pub fn run_multi(workloads: Vec<Workload>, cfg: MultiConfig) -> MultiReport {
+    assert!(!workloads.is_empty(), "need at least one workload");
+    let mut mem = PhysMem::new(cfg.base.mem_bytes);
+    let mut rng = Xoshiro256::seed_from_u64(cfg.base.seed);
+    let _ballast = Fragmenter::fragment(&mut mem, cfg.base.fragmentation, &mut rng);
+    let mut tlb = TlbHierarchy::paper_default();
+    let mut dram = MemoryModel::paper_default();
+    let mut procs: Vec<ProcState> = workloads
+        .into_iter()
+        .map(|wl| ProcState::new(wl, &cfg.base, &mut mem))
+        .collect();
+
+    let mut switches = 0u64;
+    let mut switch_cycles_total = 0u64;
+    let mut peak_pt = 0u64;
+    loop {
+        let mut any_ran = false;
+        for proc in procs.iter_mut() {
+            if proc.finished() {
+                continue;
+            }
+            // Context switch in: flush shared translation state and pay
+            // the switch + L2P restore bill.
+            tlb.flush();
+            proc.flush_walker();
+            let l2p_bytes = (proc.l2p_entries_used() as u64 * 33).div_ceil(8);
+            let cost = cfg.switch_cycles + 2 * cfg.l2p_qword_cycles * l2p_bytes.div_ceil(8);
+            switches += 1;
+            switch_cycles_total += cost;
+            for _ in 0..cfg.time_slice {
+                if !proc.step(&cfg.base, &mut mem, &mut tlb, &mut dram) {
+                    break;
+                }
+            }
+            any_ran = true;
+            peak_pt = peak_pt.max(mem.stats().tag(AllocTag::PageTable).current_bytes);
+        }
+        if !any_ran {
+            break;
+        }
+    }
+    let max_contiguous = mem.stats().tag(AllocTag::PageTable).max_contiguous_bytes;
+    peak_pt = peak_pt.max(mem.stats().tag(AllocTag::PageTable).peak_bytes);
+    let processes = procs
+        .into_iter()
+        .map(|p| p.into_report(&cfg.base, &mem))
+        .collect();
+    MultiReport {
+        processes,
+        switches,
+        switch_cycles: switch_cycles_total,
+        peak_pt_bytes: peak_pt,
+        max_contiguous,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PtKind;
+    use mehpt_types::GIB;
+    use mehpt_workloads::{App, WorkloadCfg};
+
+    fn wl(app: App) -> Workload {
+        app.build(&WorkloadCfg {
+            scale: 0.005,
+            ..WorkloadCfg::default()
+        })
+    }
+
+    fn cfg(kind: PtKind) -> MultiConfig {
+        let mut base = SimConfig::paper(kind, false);
+        base.mem_bytes = 2 * GIB;
+        MultiConfig::paper(base)
+    }
+
+    #[test]
+    fn two_processes_complete_and_account() {
+        let r = run_multi(vec![wl(App::Mummer), wl(App::Tc)], cfg(PtKind::MeHpt));
+        assert_eq!(r.processes.len(), 2);
+        for p in &r.processes {
+            assert!(p.aborted.is_none(), "{:?}", p.aborted);
+            assert!(p.accesses > 0);
+            assert!(p.faults > 0);
+        }
+        assert!(r.switches >= 2);
+        assert!(r.switch_cycles > 0);
+        assert!(r.peak_pt_bytes > 0);
+        assert!(r.total_cycles() > r.switch_cycles);
+    }
+
+    #[test]
+    fn multiprogrammed_peak_exceeds_any_single_process() {
+        let r = run_multi(
+            vec![wl(App::Bfs), wl(App::Pr), wl(App::Cc)],
+            cfg(PtKind::MeHpt),
+        );
+        let max_single = r.processes.iter().map(|p| p.pt_peak_bytes).max().unwrap();
+        assert!(
+            r.peak_pt_bytes > max_single,
+            "combined {} vs single {}",
+            r.peak_pt_bytes,
+            max_single
+        );
+    }
+
+    #[test]
+    fn mehpt_contiguity_holds_under_multiprogramming() {
+        let ecpt = run_multi(vec![wl(App::Bfs), wl(App::Pr)], cfg(PtKind::Ecpt));
+        let mehpt = run_multi(vec![wl(App::Bfs), wl(App::Pr)], cfg(PtKind::MeHpt));
+        assert!(
+            mehpt.max_contiguous <= ecpt.max_contiguous,
+            "mehpt {} vs ecpt {}",
+            mehpt.max_contiguous,
+            ecpt.max_contiguous
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_multi(vec![wl(App::Mummer), wl(App::Tc)], cfg(PtKind::Ecpt));
+        let b = run_multi(vec![wl(App::Mummer), wl(App::Tc)], cfg(PtKind::Ecpt));
+        assert_eq!(a.total_cycles(), b.total_cycles());
+        assert_eq!(a.switches, b.switches);
+    }
+}

@@ -1,0 +1,647 @@
+use std::collections::{HashMap, HashSet};
+
+use mehpt_core::MeHpt;
+use mehpt_ecpt::{Ecpt, EcptWalker};
+use mehpt_hash::ResizeKind;
+use mehpt_mem::{AllocTag, Fragmenter, PhysMem};
+use mehpt_radix::{RadixPageTable, RadixWalker};
+use mehpt_tlb::{MemoryModel, TlbHierarchy};
+use mehpt_types::rng::Xoshiro256;
+use mehpt_types::{PageSize, Ppn, VirtAddr};
+use mehpt_workloads::{Region, Workload};
+
+use crate::{PtKind, SimConfig, SimReport};
+
+/// The page table under simulation, with its hardware walker.
+enum Pt {
+    Radix {
+        table: RadixPageTable,
+        walker: RadixWalker,
+    },
+    Ecpt {
+        table: Ecpt,
+        walker: EcptWalker,
+    },
+    MeHpt {
+        table: MeHpt,
+        walker: EcptWalker,
+    },
+}
+
+impl Pt {
+    /// A timed walk; returns (cycles, memory accesses).
+    fn walk(&mut self, va: VirtAddr, dram: &mut MemoryModel) -> (u64, u32) {
+        match self {
+            Pt::Radix { table, walker } => {
+                let r = walker.walk(table, va, dram);
+                (r.cycles, r.memory_accesses)
+            }
+            Pt::Ecpt { table, walker } => {
+                let r = walker.walk(table, va, dram);
+                (r.cycles, r.memory_accesses)
+            }
+            Pt::MeHpt { table, walker } => {
+                let r = walker.walk(table, va, dram);
+                (r.cycles, r.memory_accesses)
+            }
+        }
+    }
+
+    /// Maps a page; returns `(kicks, migrated_entries)` for OS costing.
+    ///
+    /// The walker's CWC entries mirror the CWT; they only need a shootdown
+    /// when the region's page-size *mask* changes (the first mapping of a
+    /// size in a region), not on every insert.
+    fn map(
+        &mut self,
+        va: VirtAddr,
+        ps: PageSize,
+        ppn: Ppn,
+        mem: &mut PhysMem,
+    ) -> Result<(u32, u32), String> {
+        let vpn = va.vpn(ps);
+        match self {
+            Pt::Radix { table, .. } => table
+                .map(vpn, ps, ppn, mem)
+                .map(|()| (0, 0))
+                .map_err(|e| e.to_string()),
+            Pt::Ecpt { table, walker } => {
+                let masks = (table.pud_mask(va), table.pmd_mask(va));
+                let report = table.map(vpn, ps, ppn, mem).map_err(|e| e.to_string())?;
+                if masks != (table.pud_mask(va), table.pmd_mask(va)) {
+                    walker.invalidate_region(va);
+                }
+                Ok((report.kicks, report.migrated))
+            }
+            Pt::MeHpt { table, walker } => {
+                use mehpt_ecpt::HptView;
+                let masks = (HptView::pud_mask(table, va), HptView::pmd_mask(table, va));
+                let report = table.map(vpn, ps, ppn, mem).map_err(|e| e.to_string())?;
+                if masks != (HptView::pud_mask(table, va), HptView::pmd_mask(table, va)) {
+                    walker.invalidate_region(va);
+                }
+                Ok((report.kicks, report.migrated))
+            }
+        }
+    }
+
+    /// Rewrites the PPN of an existing mapping (compaction migrated the
+    /// data page).
+    fn remap(&mut self, va: VirtAddr, ps: PageSize, ppn: Ppn, mem: &mut PhysMem) {
+        let vpn = va.vpn(ps);
+        match self {
+            Pt::Radix { table, .. } => {
+                let ok = table.remap(vpn, ps, ppn);
+                debug_assert!(ok, "relocated frame had no mapping");
+            }
+            Pt::Ecpt { table, .. } => {
+                // `map` on an existing VPN updates the translation in place.
+                let _ = table.map(vpn, ps, ppn, mem);
+            }
+            Pt::MeHpt { table, .. } => {
+                let _ = table.map(vpn, ps, ppn, mem);
+            }
+        }
+    }
+
+    fn flush_walker(&mut self) {
+        match self {
+            Pt::Radix { walker, .. } => walker.flush(),
+            Pt::Ecpt { walker, .. } | Pt::MeHpt { walker, .. } => walker.flush(),
+        }
+    }
+
+    fn bytes(&self) -> u64 {
+        match self {
+            Pt::Radix { table, .. } => table.memory_bytes(),
+            Pt::Ecpt { table, .. } => table.memory_bytes(),
+            Pt::MeHpt { table, .. } => table.memory_bytes(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    accesses: u64,
+    total: u64,
+    base: u64,
+    translation: u64,
+    fault: u64,
+    alloc: u64,
+    os_pt: u64,
+    faults: u64,
+    pages_4k: u64,
+    pages_2m: u64,
+    pt_peak: u64,
+}
+
+/// One simulated process: its page table, walker, OS bookkeeping and
+/// counters. Used directly by [`Simulator::run`] and round-robin by
+/// [`run_multi`](crate::run_multi).
+pub(crate) struct ProcState {
+    workload: Workload,
+    pt: Pt,
+    regions: Vec<Region>,
+    huge_failed: HashSet<u64>,
+    /// Owner of each data frame (start frame of the page's block), so
+    /// compaction-driven page migrations can be applied to the page table
+    /// and TLB.
+    frame_owner: HashMap<u64, (VirtAddr, PageSize)>,
+    /// The OS's own view of what is mapped, at 4KB and 2MB granularity.
+    mapped_4k: HashSet<u64>,
+    mapped_2m: HashSet<u64>,
+    /// One-entry translation micro-cache (mappings are only ever added in
+    /// these traces, so entries never go stale; remaps keep the page size).
+    last: Option<(u64, PageSize)>,
+    counters: Counters,
+    aborted: Option<String>,
+    done: bool,
+}
+
+impl ProcState {
+    pub(crate) fn new(workload: Workload, cfg: &SimConfig, mem: &mut PhysMem) -> ProcState {
+        let pt = match cfg.kind {
+            PtKind::Radix => Pt::Radix {
+                table: RadixPageTable::new(mem).expect("initial radix root"),
+                walker: RadixWalker::paper_default(),
+            },
+            PtKind::Ecpt => Pt::Ecpt {
+                table: Ecpt::new(mem).expect("ECPT process state"),
+                walker: EcptWalker::paper_default(),
+            },
+            PtKind::MeHpt => Pt::MeHpt {
+                table: MeHpt::with_config(cfg.mehpt.clone(), mem).expect("ME-HPT process state"),
+                walker: EcptWalker::paper_default(),
+            },
+        };
+        let regions = workload.regions().to_vec();
+        ProcState {
+            workload,
+            pt,
+            regions,
+            huge_failed: HashSet::new(),
+            frame_owner: HashMap::new(),
+            mapped_4k: HashSet::new(),
+            mapped_2m: HashSet::new(),
+            last: None,
+            counters: Counters::default(),
+            aborted: None,
+            done: false,
+        }
+    }
+
+    pub(crate) fn finished(&self) -> bool {
+        self.done
+    }
+
+    pub(crate) fn flush_walker(&mut self) {
+        self.pt.flush_walker();
+    }
+
+    pub(crate) fn l2p_entries_used(&self) -> usize {
+        match &self.pt {
+            Pt::MeHpt { table, .. } => table.l2p_entries_used(),
+            _ => 0,
+        }
+    }
+
+    /// Simulates one memory access. Returns `false` when the trace is
+    /// exhausted or the run aborted.
+    pub(crate) fn step(
+        &mut self,
+        cfg: &SimConfig,
+        mem: &mut PhysMem,
+        tlb: &mut TlbHierarchy,
+        dram: &mut MemoryModel,
+    ) -> bool {
+        if self.done {
+            return false;
+        }
+        let Some(va) = self.workload.next() else {
+            self.done = true;
+            return false;
+        };
+        let c = &mut self.counters;
+        c.accesses += 1;
+        c.total += cfg.base_access_cycles;
+        c.base += cfg.base_access_cycles;
+
+        let page4k = va.0 >> 12;
+        let mapped = match self.last {
+            Some((p, ps)) if p == page4k => Some(ps),
+            _ if self.mapped_4k.contains(&page4k) => Some(PageSize::Base4K),
+            _ if self.mapped_2m.contains(&(va.0 >> 21)) => Some(PageSize::Huge2M),
+            _ => None,
+        };
+        if let Some(ps) = mapped {
+            self.last = Some((page4k, ps));
+            let out = tlb.lookup(va, ps);
+            c.translation += out.cycles();
+            c.total += out.cycles();
+            if out.is_miss() {
+                let (wc, _) = self.pt.walk(va, dram);
+                c.translation += wc;
+                c.total += wc;
+                tlb.fill(va.vpn(ps), ps);
+            }
+            return true;
+        }
+
+        // ---- page fault ----
+        c.faults += 1;
+        let out = tlb.lookup(va, PageSize::Base4K);
+        let (wc, _) = self.pt.walk(va, dram); // the walk that faults
+        c.translation += out.cycles() + wc;
+        c.total += out.cycles() + wc;
+        c.total += cfg.page_fault_cycles;
+        c.fault += cfg.page_fault_cycles;
+
+        let alloc_before = mem.stats().total_alloc_cycles();
+        let thp_ok = cfg.thp
+            && self
+                .regions
+                .iter()
+                .find(|r| r.contains(va))
+                .is_some_and(|r| r.thp_eligible);
+        let mut chosen: Option<(PageSize, Ppn)> = None;
+        if thp_ok && !self.huge_failed.contains(&(va.0 >> 21)) {
+            match mem.alloc(PageSize::Huge2M.bytes(), AllocTag::Data) {
+                Ok(chunk) => {
+                    chosen = Some((
+                        PageSize::Huge2M,
+                        Ppn(chunk.base().0 >> PageSize::Huge2M.shift()),
+                    ));
+                }
+                Err(_) => {
+                    // Fall back to 4KB for this region permanently, like a
+                    // failed khugepaged attempt.
+                    self.huge_failed.insert(va.0 >> 21);
+                }
+            }
+        }
+        if chosen.is_none() {
+            match mem.alloc(PageSize::Base4K.bytes(), AllocTag::Data) {
+                Ok(chunk) => {
+                    chosen = Some((
+                        PageSize::Base4K,
+                        Ppn(chunk.base().0 >> PageSize::Base4K.shift()),
+                    ));
+                }
+                Err(e) => {
+                    self.aborted = Some(format!("data allocation failed: {e}"));
+                    self.done = true;
+                    return false;
+                }
+            }
+        }
+        let (ps, ppn) = chosen.expect("a frame was allocated");
+        match self.pt.map(va, ps, ppn, mem) {
+            Ok((kicks, migrated)) => {
+                let os = cfg.insert_cycles
+                    + kicks as u64 * cfg.kick_cycles
+                    + migrated as u64 * cfg.migrate_entry_cycles;
+                c.os_pt += os;
+                c.total += os;
+            }
+            Err(e) => {
+                // The paper's ECPT failure mode: a contiguous way could not
+                // be allocated; the run cannot finish.
+                self.aborted = Some(format!("page-table insertion failed: {e}"));
+                self.done = true;
+                return false;
+            }
+        }
+        match ps {
+            PageSize::Base4K => {
+                c.pages_4k += 1;
+                self.mapped_4k.insert(page4k);
+            }
+            PageSize::Huge2M => {
+                c.pages_2m += 1;
+                self.mapped_2m.insert(va.0 >> 21);
+            }
+            PageSize::Giant1G => {}
+        }
+        self.frame_owner
+            .insert((ppn.0 << ps.shift()) >> 12, (va.page_base(ps), ps));
+        // Compaction (triggered by this fault's data or page-table
+        // allocations) may have migrated data pages: rewrite their
+        // translations and shoot down stale TLB entries. The cycle cost of
+        // the moves is part of the calibrated allocation cost.
+        for (old_frame, new_frame, tag) in mem.take_relocations() {
+            if tag != AllocTag::Data {
+                continue;
+            }
+            let Some((page_va, mps)) = self.frame_owner.remove(&old_frame) else {
+                continue;
+            };
+            let new_ppn = Ppn(new_frame >> (mps.shift() - 12));
+            self.pt.remap(page_va, mps, new_ppn, mem);
+            tlb.invalidate(page_va.vpn(mps), mps);
+            self.frame_owner.insert(new_frame, (page_va, mps));
+        }
+        tlb.fill(va.vpn(ps), ps);
+        self.last = Some((page4k, ps));
+        let c = &mut self.counters;
+        c.alloc += mem.stats().total_alloc_cycles() - alloc_before;
+        if c.faults % 4096 == 0 {
+            c.pt_peak = c.pt_peak.max(self.pt.bytes());
+        }
+        true
+    }
+
+    /// Assembles the final report. `machine_peak` taints per-process peaks
+    /// with the machine-wide page-table high-water mark only in
+    /// single-process runs (pass `None` for multiprogrammed runs).
+    pub(crate) fn into_report(mut self, cfg: &SimConfig, mem: &PhysMem) -> SimReport {
+        // Allocation cycles were accumulated per step; total includes them.
+        self.counters.total += 0;
+        let c = &self.counters;
+        let total = c.total + c.alloc;
+        let (walks, mean_walk_cycles, mean_walk_accesses) = match &self.pt {
+            Pt::Radix { walker, .. } => {
+                (walker.walks(), walker.mean_cycles(), walker.mean_accesses())
+            }
+            Pt::Ecpt { walker, .. } | Pt::MeHpt { walker, .. } => {
+                (walker.walks(), walker.mean_cycles(), walker.mean_accesses())
+            }
+        };
+        let pt_peak = c.pt_peak.max(self.pt.bytes());
+        let mut report = SimReport {
+            app: self.workload.name().to_string(),
+            kind: cfg.kind,
+            thp: cfg.thp,
+            accesses: c.accesses,
+            total_cycles: total,
+            base_cycles: c.base,
+            translation_cycles: c.translation,
+            fault_cycles: c.fault,
+            alloc_cycles: c.alloc,
+            os_pt_cycles: c.os_pt,
+            faults: c.faults,
+            pages_4k: c.pages_4k,
+            pages_2m: c.pages_2m,
+            tlb_miss_rate: 0.0,
+            walks,
+            mean_walk_accesses,
+            mean_walk_cycles,
+            pt_final_bytes: self.pt.bytes(),
+            pt_peak_bytes: pt_peak,
+            pt_max_contiguous: mem.stats().tag(AllocTag::PageTable).max_contiguous_bytes,
+            way_sizes_4k: Vec::new(),
+            way_phys_4k: Vec::new(),
+            upsizes_per_way_4k: Vec::new(),
+            upsizes_per_way_2m: Vec::new(),
+            moved_fraction_4k: 0.0,
+            kicks_histogram: Vec::new(),
+            l2p_entries_used: 0,
+            chunk_switches: 0,
+            data_bytes_nominal: self.workload.nominal_data_bytes(),
+            aborted: self.aborted.clone(),
+        };
+        match &self.pt {
+            Pt::Radix { .. } => {}
+            Pt::Ecpt { table, .. } => {
+                if let Some(t4k) = table.table(PageSize::Base4K) {
+                    report.way_sizes_4k = t4k.way_sizes();
+                    report.way_phys_4k = t4k.way_sizes(); // contiguous ways
+                    report.upsizes_per_way_4k = upsizes_per_way(t4k.resizes(), 3);
+                    report.moved_fraction_4k = if t4k.resizes().is_empty() { 0.0 } else { 1.0 };
+                }
+                if let Some(t2m) = table.table(PageSize::Huge2M) {
+                    report.upsizes_per_way_2m = upsizes_per_way(t2m.resizes(), 3);
+                }
+                for ps in mehpt_types::PAGE_SIZES {
+                    if let Some(t) = table.table(ps) {
+                        merge_hist(&mut report.kicks_histogram, t.kicks_histogram());
+                    }
+                }
+            }
+            Pt::MeHpt { table, .. } => {
+                if let Some(t4k) = table.table(PageSize::Base4K) {
+                    report.way_sizes_4k = t4k.way_sizes();
+                    report.way_phys_4k = t4k.way_phys_bytes();
+                    report.upsizes_per_way_4k = upsizes_per_way(&t4k.stats().resizes, 3);
+                    report.moved_fraction_4k = moved_fraction(&t4k.stats().resizes);
+                }
+                if let Some(t2m) = table.table(PageSize::Huge2M) {
+                    report.upsizes_per_way_2m = upsizes_per_way(&t2m.stats().resizes, 3);
+                }
+                for ps in mehpt_types::PAGE_SIZES {
+                    if let Some(t) = table.table(ps) {
+                        merge_hist(&mut report.kicks_histogram, &t.stats().kicks_histogram);
+                    }
+                }
+                report.l2p_entries_used = table.l2p_entries_used();
+                report.chunk_switches = mehpt_types::PAGE_SIZES
+                    .iter()
+                    .filter_map(|&ps| table.table(ps))
+                    .map(|t| t.stats().chunk_switches)
+                    .sum();
+            }
+        }
+        report
+    }
+}
+
+/// The trace-driven simulator. See the crate docs for the model.
+#[derive(Debug)]
+pub struct Simulator;
+
+impl Simulator {
+    /// Runs `workload` to completion (or `cfg.max_accesses`) under `cfg`
+    /// and returns the measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if even the initial page table cannot be allocated (the
+    /// configured memory is impossibly small).
+    pub fn run(workload: Workload, cfg: SimConfig) -> SimReport {
+        let mut mem = PhysMem::new(cfg.mem_bytes);
+        let mut rng = Xoshiro256::seed_from_u64(cfg.seed);
+        let _ballast = Fragmenter::fragment(&mut mem, cfg.fragmentation, &mut rng);
+        let mut tlb = TlbHierarchy::paper_default();
+        let mut dram = MemoryModel::paper_default();
+        let mut proc = ProcState::new(workload, &cfg, &mut mem);
+        let limit = cfg.max_accesses.unwrap_or(u64::MAX);
+        while proc.counters.accesses < limit && proc.step(&cfg, &mut mem, &mut tlb, &mut dram) {}
+        let mut report = proc.into_report(&cfg, &mem);
+        report.tlb_miss_rate = tlb.l2_stats().misses as f64 / report.accesses.max(1) as f64;
+        report.pt_peak_bytes = report
+            .pt_peak_bytes
+            .max(mem.stats().tag(AllocTag::PageTable).peak_bytes);
+        report
+    }
+}
+
+fn merge_hist(into: &mut Vec<u64>, from: &[u64]) {
+    if into.len() < from.len() {
+        into.resize(from.len(), 0);
+    }
+    for (dst, &src) in into.iter_mut().zip(from) {
+        *dst += src;
+    }
+}
+
+fn upsizes_per_way(events: &[mehpt_hash::ResizeEvent], ways: usize) -> Vec<u64> {
+    let mut counts = vec![0u64; ways];
+    for e in events {
+        if e.kind == ResizeKind::Upsize {
+            counts[e.way] += 1;
+        }
+    }
+    counts
+}
+
+/// Mean moved fraction over upsize events (in-place upsizes sit near 0.5;
+/// chunk switches and out-of-place events are 1.0).
+fn moved_fraction(events: &[mehpt_hash::ResizeEvent]) -> f64 {
+    let ups: Vec<f64> = events
+        .iter()
+        .filter(|e| e.kind == ResizeKind::Upsize && e.moved + e.kept > 0)
+        .map(|e| e.moved as f64 / (e.moved + e.kept) as f64)
+        .collect();
+    if ups.is_empty() {
+        return 0.0;
+    }
+    ups.iter().sum::<f64>() / ups.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mehpt_workloads::{App, WorkloadCfg};
+
+    fn tiny(app: App) -> Workload {
+        scaled(app, 0.002)
+    }
+
+    fn scaled(app: App, scale: f64) -> Workload {
+        app.build(&WorkloadCfg {
+            scale,
+            ..WorkloadCfg::default()
+        })
+    }
+
+    fn run(app: App, kind: PtKind, thp: bool) -> SimReport {
+        let mut cfg = SimConfig::paper(kind, thp);
+        cfg.mem_bytes = 2 * mehpt_types::GIB;
+        Simulator::run(tiny(app), cfg)
+    }
+
+    #[test]
+    fn all_kinds_complete_a_small_run() {
+        for kind in [PtKind::Radix, PtKind::Ecpt, PtKind::MeHpt] {
+            let r = run(App::Mummer, kind, false);
+            assert!(r.aborted.is_none(), "{kind:?}: {:?}", r.aborted);
+            assert!(r.accesses > 0);
+            assert!(r.total_cycles > r.accesses);
+            assert!(r.faults > 0);
+            assert_eq!(r.pages_2m, 0, "no THP requested");
+        }
+    }
+
+    #[test]
+    fn thp_maps_huge_pages_for_eligible_regions() {
+        let r = run(App::Gups, PtKind::MeHpt, true);
+        assert!(r.pages_2m > 0, "GUPS under THP must use huge pages");
+        let r2 = run(App::Bfs, PtKind::MeHpt, true);
+        assert_eq!(r2.pages_2m, 0, "graph regions are not THP-eligible");
+    }
+
+    #[test]
+    fn hpt_walks_use_fewer_cycles_than_radix_at_scale() {
+        // Needs a footprint that overflows the radix page-walk caches; at
+        // toy scale radix's PWC covers everything and wins.
+        let run_at = |kind| {
+            let mut cfg = SimConfig::paper(kind, false);
+            cfg.mem_bytes = 4 * mehpt_types::GIB;
+            Simulator::run(scaled(App::Gups, 0.05), cfg)
+        };
+        let radix = run_at(PtKind::Radix);
+        let mehpt = run_at(PtKind::MeHpt);
+        assert!(
+            mehpt.mean_walk_cycles < radix.mean_walk_cycles,
+            "HPT {} vs radix {}",
+            mehpt.mean_walk_cycles,
+            radix.mean_walk_cycles
+        );
+        assert!(radix.mean_walk_accesses > 1.5, "radix must chain accesses");
+    }
+
+    #[test]
+    fn mehpt_contiguity_below_ecpt() {
+        let ecpt = run(App::Gups, PtKind::Ecpt, false);
+        let mehpt = run(App::Gups, PtKind::MeHpt, false);
+        assert!(
+            mehpt.pt_max_contiguous < ecpt.pt_max_contiguous,
+            "ME-HPT {} vs ECPT {}",
+            mehpt.pt_max_contiguous,
+            ecpt.pt_max_contiguous
+        );
+    }
+
+    #[test]
+    fn mehpt_peak_memory_below_ecpt() {
+        let ecpt = run(App::Bfs, PtKind::Ecpt, false);
+        let mehpt = run(App::Bfs, PtKind::MeHpt, false);
+        assert!(
+            (mehpt.pt_peak_bytes as f64) < 0.95 * ecpt.pt_peak_bytes as f64,
+            "ME-HPT {} vs ECPT {}",
+            mehpt.pt_peak_bytes,
+            ecpt.pt_peak_bytes
+        );
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let a = run(App::Pr, PtKind::MeHpt, false);
+        let b = run(App::Pr, PtKind::MeHpt, false);
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.way_sizes_4k, b.way_sizes_4k);
+    }
+
+    #[test]
+    fn max_accesses_caps_the_run() {
+        let mut cfg = SimConfig::paper(PtKind::Radix, false);
+        cfg.mem_bytes = mehpt_types::GIB;
+        cfg.max_accesses = Some(1000);
+        let r = Simulator::run(tiny(App::Bfs), cfg);
+        assert_eq!(r.accesses, 1000);
+    }
+
+    #[test]
+    fn ecpt_aborts_on_hostile_fragmentation() {
+        // Small memory + high fragmentation: the ECPT way doubling cannot
+        // find contiguous space, so the run aborts — the paper's FMFI>0.7
+        // observation.
+        let run_frag = |kind| {
+            let mut cfg = SimConfig::paper(kind, false);
+            cfg.mem_bytes = 2 * mehpt_types::GIB;
+            cfg.fragmentation = 0.99;
+            Simulator::run(scaled(App::Gups, 0.1), cfg)
+        };
+        let ecpt = run_frag(PtKind::Ecpt);
+        assert!(
+            ecpt.aborted.is_some(),
+            "ECPT must abort: {:?}",
+            ecpt.aborted
+        );
+        // ME-HPT survives the same conditions on its small chunks.
+        let mehpt = run_frag(PtKind::MeHpt);
+        assert!(
+            mehpt.aborted.is_none(),
+            "ME-HPT must survive: {:?}",
+            mehpt.aborted
+        );
+    }
+
+    #[test]
+    fn cycle_components_sum_to_total() {
+        let r = run(App::Tc, PtKind::MeHpt, false);
+        assert_eq!(
+            r.base_cycles + r.translation_cycles + r.fault_cycles + r.alloc_cycles + r.os_pt_cycles,
+            r.total_cycles
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! MMU-side hardware structures: caches, TLBs and the memory latency model.
+//!
+//! Everything in Table III of the paper that is not a page table lives here:
+//!
+//! * [`SetAssocCache`] — a generic set-associative, LRU-replaced cache used
+//!   to model page-walk caches (PWC), cuckoo-walk caches (CWC) and TLBs.
+//! * [`Tlb`] and [`TlbHierarchy`] — the two-level data TLB with per-page-size
+//!   L1 and L2 arrays (64/32/4-entry L1s; 1024/1024/16-entry L2s).
+//! * [`MemoryModel`] — the cache/DRAM latency seen by page-walk memory
+//!   references: an L2 + shared-L3 model backed by [`SetAssocCache`], with a
+//!   200-cycle average round trip to memory.
+//!
+//! # Examples
+//!
+//! ```
+//! use mehpt_tlb::{TlbHierarchy, TlbOutcome};
+//! use mehpt_types::{PageSize, VirtAddr};
+//!
+//! let mut tlb = TlbHierarchy::paper_default();
+//! let va = VirtAddr::new(0x7000_1234);
+//! assert!(matches!(tlb.lookup(va, PageSize::Base4K), TlbOutcome::Miss { .. }));
+//! tlb.fill(va.vpn(PageSize::Base4K), PageSize::Base4K);
+//! assert!(matches!(tlb.lookup(va, PageSize::Base4K), TlbOutcome::L1Hit { .. }));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod memmodel;
+mod tlb;
+
+pub use cache::{CacheStats, SetAssocCache};
+pub use memmodel::{MemoryModel, MemoryModelConfig};
+pub use tlb::{Tlb, TlbHierarchy, TlbOutcome};

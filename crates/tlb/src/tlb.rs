@@ -1,0 +1,307 @@
+use mehpt_types::{PageSize, VirtAddr, Vpn, PAGE_SIZES};
+
+use crate::{CacheStats, SetAssocCache};
+
+/// One TLB array for one page size.
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    cache: SetAssocCache,
+    latency: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with `entries` total entries, `ways` associativity and
+    /// the given access latency in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero or exceeds `entries`.
+    pub fn new(entries: usize, ways: usize, latency: u64) -> Tlb {
+        assert!(ways > 0 && ways <= entries, "need 1 <= ways <= entries");
+        Tlb {
+            cache: SetAssocCache::new((entries / ways).max(1), ways),
+            latency,
+        }
+    }
+
+    /// Looks up a VPN; hits update recency. Misses do **not** install the
+    /// VPN — translations enter only via [`Tlb::fill`] after a walk.
+    pub fn lookup(&mut self, vpn: Vpn) -> bool {
+        self.cache.probe(vpn.0)
+    }
+
+    /// Installs a translation without counting an access.
+    pub fn fill(&mut self, vpn: Vpn) {
+        self.cache.fill(vpn.0);
+    }
+
+    /// Removes a translation (TLB shootdown).
+    pub fn invalidate(&mut self, vpn: Vpn) {
+        self.cache.invalidate(vpn.0);
+    }
+
+    /// Empties the TLB (context switch without ASIDs).
+    pub fn flush(&mut self) {
+        self.cache.flush();
+    }
+
+    /// The access latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+/// The outcome of a TLB hierarchy lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TlbOutcome {
+    /// Hit in the first-level TLB.
+    L1Hit {
+        /// Cycles spent (L1 latency).
+        cycles: u64,
+    },
+    /// Missed L1, hit the second-level TLB.
+    L2Hit {
+        /// Cycles spent (L1 + L2 latency).
+        cycles: u64,
+    },
+    /// Missed both levels; a page walk is required.
+    Miss {
+        /// Cycles spent searching the TLBs before the walk starts.
+        cycles: u64,
+    },
+}
+
+impl TlbOutcome {
+    /// Cycles consumed by the TLB lookup itself.
+    pub fn cycles(&self) -> u64 {
+        match *self {
+            TlbOutcome::L1Hit { cycles }
+            | TlbOutcome::L2Hit { cycles }
+            | TlbOutcome::Miss { cycles } => cycles,
+        }
+    }
+
+    /// Whether a page walk is needed.
+    pub fn is_miss(&self) -> bool {
+        matches!(self, TlbOutcome::Miss { .. })
+    }
+}
+
+/// The two-level data-TLB hierarchy of Table III.
+///
+/// Per page size: L1 of 64 (4KB, 4-way), 32 (2MB, 4-way) and 4 (1GB, fully
+/// associative) entries at 2 cycles; L2 of 1024 (4KB, 12-way), 1024 (2MB,
+/// 12-way) and 16 (1GB, 4-way) entries at 12 cycles.
+///
+/// # Examples
+///
+/// ```
+/// use mehpt_tlb::TlbHierarchy;
+/// use mehpt_types::{PageSize, VirtAddr};
+///
+/// let mut tlb = TlbHierarchy::paper_default();
+/// let va = VirtAddr::new(0x1000_0000);
+/// let miss = tlb.lookup(va, PageSize::Huge2M);
+/// assert!(miss.is_miss());
+/// ```
+#[derive(Clone, Debug)]
+pub struct TlbHierarchy {
+    l1: [Tlb; 3],
+    l2: [Tlb; 3],
+}
+
+impl TlbHierarchy {
+    /// Builds the hierarchy with Table III's geometry.
+    pub fn paper_default() -> TlbHierarchy {
+        TlbHierarchy {
+            l1: [
+                Tlb::new(64, 4, 2), // 4KB pages
+                Tlb::new(32, 4, 2), // 2MB pages
+                Tlb::new(4, 4, 2),  // 1GB pages (effectively full)
+            ],
+            l2: [
+                Tlb::new(1024, 12, 12),
+                Tlb::new(1024, 12, 12),
+                Tlb::new(16, 4, 12),
+            ],
+        }
+    }
+
+    /// Looks up the translation for `va`, which the OS maps with a page of
+    /// size `ps`.
+    ///
+    /// The L1 arrays for all page sizes are probed in parallel (2 cycles);
+    /// on a miss the L2 arrays are probed (12 more cycles).
+    pub fn lookup(&mut self, va: VirtAddr, ps: PageSize) -> TlbOutcome {
+        let i = ps.index();
+        let vpn = va.vpn(ps);
+        let l1_cycles = self.l1[i].latency();
+        if self.l1[i].lookup(vpn) {
+            return TlbOutcome::L1Hit { cycles: l1_cycles };
+        }
+        let l2_cycles = l1_cycles + self.l2[i].latency();
+        if self.l2[i].lookup(vpn) {
+            // A hit in L2 also refills L1.
+            self.l1[i].fill(vpn);
+            return TlbOutcome::L2Hit { cycles: l2_cycles };
+        }
+        TlbOutcome::Miss { cycles: l2_cycles }
+    }
+
+    /// Installs a translation in both levels after a successful walk.
+    pub fn fill(&mut self, vpn: Vpn, ps: PageSize) {
+        let i = ps.index();
+        self.l1[i].fill(vpn);
+        self.l2[i].fill(vpn);
+    }
+
+    /// Shoots down one translation.
+    pub fn invalidate(&mut self, vpn: Vpn, ps: PageSize) {
+        let i = ps.index();
+        self.l1[i].invalidate(vpn);
+        self.l2[i].invalidate(vpn);
+    }
+
+    /// Empties the whole hierarchy.
+    pub fn flush(&mut self) {
+        for i in 0..3 {
+            self.l1[i].flush();
+            self.l2[i].flush();
+        }
+    }
+
+    /// Combined L1 hit/miss counters across page sizes.
+    pub fn l1_stats(&self) -> CacheStats {
+        PAGE_SIZES.iter().fold(CacheStats::default(), |acc, ps| {
+            let s = self.l1[ps.index()].stats();
+            CacheStats {
+                hits: acc.hits + s.hits,
+                misses: acc.misses + s.misses,
+            }
+        })
+    }
+
+    /// Combined L2 hit/miss counters across page sizes.
+    pub fn l2_stats(&self) -> CacheStats {
+        PAGE_SIZES.iter().fold(CacheStats::default(), |acc, ps| {
+            let s = self.l2[ps.index()].stats();
+            CacheStats {
+                hits: acc.hits + s.hits,
+                misses: acc.misses + s.misses,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut t = TlbHierarchy::paper_default();
+        let va = VirtAddr::new(0xdead_b000);
+        assert!(t.lookup(va, PageSize::Base4K).is_miss());
+        t.fill(va.vpn(PageSize::Base4K), PageSize::Base4K);
+        assert_eq!(
+            t.lookup(va, PageSize::Base4K),
+            TlbOutcome::L1Hit { cycles: 2 }
+        );
+    }
+
+    #[test]
+    fn l2_refills_l1() {
+        let mut t = TlbHierarchy::paper_default();
+        let base = VirtAddr::new(0);
+        // Fill 65 distinct 4KB translations: the 64-entry L1 must evict.
+        for i in 0..65u64 {
+            let va = base + i * 4096;
+            t.fill(va.vpn(PageSize::Base4K), PageSize::Base4K);
+        }
+        // The oldest VPN should be out of L1 but still in L2.
+        let victim = base;
+        let out = t.lookup(victim, PageSize::Base4K);
+        assert_eq!(out, TlbOutcome::L2Hit { cycles: 14 });
+        // And now it is back in L1.
+        assert_eq!(
+            t.lookup(victim, PageSize::Base4K),
+            TlbOutcome::L1Hit { cycles: 2 }
+        );
+    }
+
+    #[test]
+    fn page_sizes_use_separate_arrays() {
+        let mut t = TlbHierarchy::paper_default();
+        let va = VirtAddr::new(0x4000_0000);
+        t.fill(va.vpn(PageSize::Base4K), PageSize::Base4K);
+        assert!(t.lookup(va, PageSize::Huge2M).is_miss());
+        assert!(!t.lookup(va, PageSize::Base4K).is_miss());
+    }
+
+    #[test]
+    fn huge_pages_increase_reach() {
+        let mut small = TlbHierarchy::paper_default();
+        let mut huge = TlbHierarchy::paper_default();
+        // Touch 8MB of data one page at a time.
+        let mut small_misses = 0;
+        let mut huge_misses = 0;
+        for pass in 0..2 {
+            for off in (0..(8 << 20)).step_by(4096) {
+                let va = VirtAddr::new(off);
+                if small.lookup(va, PageSize::Base4K).is_miss() {
+                    if pass == 1 {
+                        small_misses += 1;
+                    }
+                    small.fill(va.vpn(PageSize::Base4K), PageSize::Base4K);
+                }
+                if huge.lookup(va, PageSize::Huge2M).is_miss() {
+                    if pass == 1 {
+                        huge_misses += 1;
+                    }
+                    huge.fill(va.vpn(PageSize::Huge2M), PageSize::Huge2M);
+                }
+            }
+        }
+        // 2048 4KB pages overflow the 1024-entry L2; four 2MB pages do not.
+        assert!(small_misses > 0);
+        assert_eq!(huge_misses, 0);
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut t = TlbHierarchy::paper_default();
+        let va = VirtAddr::new(0x1234_5000);
+        t.fill(va.vpn(PageSize::Base4K), PageSize::Base4K);
+        t.invalidate(va.vpn(PageSize::Base4K), PageSize::Base4K);
+        assert!(t.lookup(va, PageSize::Base4K).is_miss());
+        t.fill(va.vpn(PageSize::Base4K), PageSize::Base4K);
+        t.flush();
+        assert!(t.lookup(va, PageSize::Base4K).is_miss());
+    }
+
+    #[test]
+    fn stats_aggregate_over_page_sizes() {
+        let mut t = TlbHierarchy::paper_default();
+        t.lookup(VirtAddr::new(0x1000), PageSize::Base4K);
+        t.lookup(VirtAddr::new(0x1000), PageSize::Huge2M);
+        assert_eq!(t.l1_stats().misses, 2);
+    }
+
+    #[test]
+    fn single_tlb_behaves() {
+        let mut t = Tlb::new(8, 2, 3);
+        let vpn = Vpn(77);
+        assert!(!t.lookup(vpn));
+        assert!(!t.lookup(vpn), "a miss must not install the translation");
+        t.fill(vpn);
+        assert!(t.lookup(vpn));
+        assert_eq!(t.latency(), 3);
+        t.invalidate(vpn);
+        assert!(!t.lookup(vpn));
+    }
+}

@@ -1,0 +1,277 @@
+use core::fmt;
+use core::ops::{Add, Sub};
+
+use crate::PageSize;
+
+/// A virtual address in the simulated process address space.
+///
+/// The modeled architecture is x86-64-like with a 48-bit canonical virtual
+/// address space (the paper's Figure 1 shows the 4-level translation of
+/// `VA[47:0]`).
+///
+/// # Examples
+///
+/// ```
+/// use mehpt_types::{PageSize, VirtAddr};
+///
+/// let va = VirtAddr::new(0x1234_5678);
+/// assert_eq!(va.vpn(PageSize::Base4K).0, 0x12345);
+/// assert_eq!(va.page_offset(PageSize::Base4K), 0x678);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtAddr(pub u64);
+
+/// A physical address in the simulated machine memory.
+///
+/// Physical addresses are 46 bits wide, matching Section V-B of the paper
+/// ("With a physical address of 46 bits, the base address of an 8KB chunk is
+/// 33 bits followed by 13 zeros").
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysAddr(pub u64);
+
+/// A virtual page number: a [`VirtAddr`] shifted right by the page-size shift.
+///
+/// A `Vpn` is only meaningful together with the [`PageSize`] it was derived
+/// from; APIs in this workspace always pass the two together or fix the page
+/// size by construction.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Vpn(pub u64);
+
+/// A physical page number (frame number) for a given [`PageSize`].
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ppn(pub u64);
+
+impl VirtAddr {
+    /// The number of implemented virtual-address bits.
+    pub const BITS: u32 = 48;
+
+    /// Creates a virtual address, truncating to the implemented 48 bits.
+    #[inline]
+    pub const fn new(raw: u64) -> VirtAddr {
+        VirtAddr(raw & ((1 << Self::BITS) - 1))
+    }
+
+    /// The virtual page number of the page (of size `ps`) containing this
+    /// address.
+    #[inline]
+    pub const fn vpn(self, ps: PageSize) -> Vpn {
+        Vpn(self.0 >> ps.shift())
+    }
+
+    /// The offset of this address within its page of size `ps`.
+    #[inline]
+    pub const fn page_offset(self, ps: PageSize) -> u64 {
+        self.0 & ps.offset_mask()
+    }
+
+    /// Rounds this address down to the containing page boundary.
+    #[inline]
+    pub const fn page_base(self, ps: PageSize) -> VirtAddr {
+        VirtAddr(self.0 & !ps.offset_mask())
+    }
+
+    /// Whether the address is aligned to a page of size `ps`.
+    #[inline]
+    pub const fn is_page_aligned(self, ps: PageSize) -> bool {
+        self.0 & ps.offset_mask() == 0
+    }
+}
+
+impl PhysAddr {
+    /// The number of implemented physical-address bits (Section V-B).
+    pub const BITS: u32 = 46;
+
+    /// Creates a physical address, truncating to the implemented 46 bits.
+    #[inline]
+    pub const fn new(raw: u64) -> PhysAddr {
+        PhysAddr(raw & ((1 << Self::BITS) - 1))
+    }
+
+    /// The 64-byte cache line number containing this address.
+    #[inline]
+    pub const fn line(self) -> u64 {
+        self.0 >> 6
+    }
+
+    /// The frame number of the 4KB frame containing this address.
+    #[inline]
+    pub const fn frame_4k(self) -> u64 {
+        self.0 >> 12
+    }
+}
+
+impl Vpn {
+    /// Reconstructs the base virtual address of this page.
+    #[inline]
+    pub const fn base_addr(self, ps: PageSize) -> VirtAddr {
+        VirtAddr(self.0 << ps.shift())
+    }
+
+    /// The VPN of the containing page of a *larger* page size.
+    ///
+    /// For example the 2MB-page VPN containing a 4KB-page VPN.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `to` is smaller than `from`.
+    #[inline]
+    pub fn containing(self, from: PageSize, to: PageSize) -> Vpn {
+        debug_assert!(to >= from, "containing() requires a larger page size");
+        Vpn(self.0 >> (to.shift() - from.shift()))
+    }
+}
+
+impl Ppn {
+    /// Reconstructs the base physical address of this frame.
+    #[inline]
+    pub const fn base_addr(self, ps: PageSize) -> PhysAddr {
+        PhysAddr(self.0 << ps.shift())
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(raw: u64) -> VirtAddr {
+        VirtAddr::new(raw)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(raw: u64) -> PhysAddr {
+        PhysAddr::new(raw)
+    }
+}
+
+impl Add<u64> for VirtAddr {
+    type Output = VirtAddr;
+
+    fn add(self, rhs: u64) -> VirtAddr {
+        VirtAddr::new(self.0.wrapping_add(rhs))
+    }
+}
+
+impl Sub<VirtAddr> for VirtAddr {
+    type Output = u64;
+
+    fn sub(self, rhs: VirtAddr) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl Add<u64> for PhysAddr {
+    type Output = PhysAddr;
+
+    fn add(self, rhs: u64) -> PhysAddr {
+        PhysAddr::new(self.0.wrapping_add(rhs))
+    }
+}
+
+impl fmt::Debug for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VirtAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::Debug for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PhysAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::Debug for Vpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vpn({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Vpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::Debug for Ppn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ppn({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Ppn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virt_addr_truncates_to_48_bits() {
+        let va = VirtAddr::new(u64::MAX);
+        assert_eq!(va.0, (1 << 48) - 1);
+    }
+
+    #[test]
+    fn phys_addr_truncates_to_46_bits() {
+        let pa = PhysAddr::new(u64::MAX);
+        assert_eq!(pa.0, (1 << 46) - 1);
+    }
+
+    #[test]
+    fn vpn_and_offset_partition_the_address() {
+        let va = VirtAddr::new(0xdead_beef_cafe);
+        for ps in crate::PAGE_SIZES {
+            let rebuilt = va.vpn(ps).base_addr(ps).0 + va.page_offset(ps);
+            assert_eq!(rebuilt, va.0);
+        }
+    }
+
+    #[test]
+    fn page_base_is_aligned() {
+        let va = VirtAddr::new(0x1_2345_6789);
+        for ps in crate::PAGE_SIZES {
+            assert!(va.page_base(ps).is_page_aligned(ps));
+            assert!(va.page_base(ps).0 <= va.0);
+        }
+    }
+
+    #[test]
+    fn containing_vpn_crosses_page_sizes() {
+        let va = VirtAddr::new(0x4020_1000);
+        let small = va.vpn(PageSize::Base4K);
+        let huge = va.vpn(PageSize::Huge2M);
+        assert_eq!(small.containing(PageSize::Base4K, PageSize::Huge2M), huge);
+    }
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let a = VirtAddr::new(0x1000);
+        assert_eq!((a + 0x234).0, 0x1234);
+        assert_eq!((a + 0x234) - a, 0x234);
+    }
+
+    #[test]
+    fn line_and_frame_helpers() {
+        let pa = PhysAddr::new(0x1040);
+        assert_eq!(pa.line(), 0x41);
+        assert_eq!(pa.frame_4k(), 1);
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert!(!format!("{:?}", VirtAddr::default()).is_empty());
+        assert!(!format!("{:?}", Ppn::default()).is_empty());
+    }
+}

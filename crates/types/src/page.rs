@@ -1,0 +1,157 @@
+use core::fmt;
+
+/// A translation granularity supported by the modeled x86-64-like architecture.
+///
+/// The paper's evaluation uses three page sizes (Section V-A): the base 4KB
+/// page, the 2MB huge page (PMD level) and the 1GB page (PUD level). Hashed
+/// page tables keep one table per page size, so most structures in this
+/// workspace are parameterized by `PageSize`.
+///
+/// # Examples
+///
+/// ```
+/// use mehpt_types::PageSize;
+///
+/// assert_eq!(PageSize::Huge2M.bytes(), 2 * 1024 * 1024);
+/// assert_eq!(PageSize::Huge2M.shift(), 21);
+/// assert_eq!(PageSize::Giant1G.pages_4k(), 262_144);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PageSize {
+    /// A 4KB base page (PTE level).
+    Base4K,
+    /// A 2MB huge page (PMD level).
+    Huge2M,
+    /// A 1GB page (PUD level).
+    Giant1G,
+}
+
+/// All supported page sizes, smallest first.
+///
+/// Iterating this array is the canonical way to visit the per-page-size
+/// tables of an HPT design.
+pub const PAGE_SIZES: [PageSize; 3] = [PageSize::Base4K, PageSize::Huge2M, PageSize::Giant1G];
+
+impl PageSize {
+    /// The size of one page in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        1u64 << self.shift()
+    }
+
+    /// The number of low address bits covered by the page offset.
+    #[inline]
+    pub const fn shift(self) -> u32 {
+        match self {
+            PageSize::Base4K => 12,
+            PageSize::Huge2M => 21,
+            PageSize::Giant1G => 30,
+        }
+    }
+
+    /// Mask selecting the page-offset bits of an address.
+    #[inline]
+    pub const fn offset_mask(self) -> u64 {
+        self.bytes() - 1
+    }
+
+    /// How many 4KB frames one page of this size spans.
+    #[inline]
+    pub const fn pages_4k(self) -> u64 {
+        1u64 << (self.shift() - 12)
+    }
+
+    /// A stable, dense index (0 for 4KB, 1 for 2MB, 2 for 1GB) used to index
+    /// per-page-size arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            PageSize::Base4K => 0,
+            PageSize::Huge2M => 1,
+            PageSize::Giant1G => 2,
+        }
+    }
+
+    /// The inverse of [`PageSize::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 2`.
+    #[inline]
+    pub const fn from_index(index: usize) -> PageSize {
+        match index {
+            0 => PageSize::Base4K,
+            1 => PageSize::Huge2M,
+            2 => PageSize::Giant1G,
+            _ => panic!("page size index out of range"),
+        }
+    }
+
+    /// A short human-readable label (`"4KB"`, `"2MB"`, `"1GB"`).
+    #[inline]
+    pub const fn label(self) -> &'static str {
+        match self {
+            PageSize::Base4K => "4KB",
+            PageSize::Huge2M => "2MB",
+            PageSize::Giant1G => "1GB",
+        }
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_powers_of_two() {
+        for ps in PAGE_SIZES {
+            assert!(ps.bytes().is_power_of_two());
+            assert_eq!(ps.bytes(), 1 << ps.shift());
+        }
+    }
+
+    #[test]
+    fn byte_values_match_architecture() {
+        assert_eq!(PageSize::Base4K.bytes(), 4096);
+        assert_eq!(PageSize::Huge2M.bytes(), 2 * 1024 * 1024);
+        assert_eq!(PageSize::Giant1G.bytes(), 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for ps in PAGE_SIZES {
+            assert_eq!(PageSize::from_index(ps.index()), ps);
+        }
+    }
+
+    #[test]
+    fn offset_mask_covers_page() {
+        assert_eq!(PageSize::Base4K.offset_mask(), 0xfff);
+        assert_eq!(PageSize::Huge2M.offset_mask(), 0x1f_ffff);
+    }
+
+    #[test]
+    fn pages_4k_spans() {
+        assert_eq!(PageSize::Base4K.pages_4k(), 1);
+        assert_eq!(PageSize::Huge2M.pages_4k(), 512);
+        assert_eq!(PageSize::Giant1G.pages_4k(), 512 * 512);
+    }
+
+    #[test]
+    fn ordering_smallest_first() {
+        assert!(PageSize::Base4K < PageSize::Huge2M);
+        assert!(PageSize::Huge2M < PageSize::Giant1G);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(PageSize::Base4K.to_string(), "4KB");
+        assert_eq!(PageSize::Giant1G.to_string(), "1GB");
+    }
+}

@@ -1,0 +1,237 @@
+//! `mehpt` — command-line driver for the translation simulator.
+//!
+//! ```text
+//! mehpt apps                                      list the built-in workloads
+//! mehpt simulate --app gups --pt mehpt [--thp]    run one simulation
+//!                [--scale 0.1] [--frag 0.7] [--mem-gb 64]
+//! mehpt compare  --app bfs [--thp] [--scale 0.1]  radix vs ECPT vs ME-HPT
+//! mehpt record   --app bfs --scale 0.01 --out t.trace   export a trace file
+//! mehpt replay   --trace t.trace --pt radix       replay a recorded trace
+//! ```
+
+use std::process::ExitCode;
+
+use mehpt::sim::{PtKind, SimConfig, SimReport, Simulator};
+use mehpt::types::{ByteSize, GIB};
+use mehpt::workloads::{App, FileTrace, Workload, WorkloadCfg};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "apps" => cmd_apps(),
+        "simulate" => cmd_simulate(&args[1..]),
+        "compare" => cmd_compare(&args[1..]),
+        "record" => cmd_record(&args[1..]),
+        "replay" => cmd_replay(&args[1..]),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+mehpt — trace-driven page-table simulator (HPCA'23 ME-HPT reproduction)
+
+USAGE:
+  mehpt apps
+  mehpt simulate --app <name> --pt <radix|ecpt|mehpt> [--thp]
+                 [--scale <f>] [--frag <f>] [--mem-gb <n>] [--nodes <n>]
+  mehpt compare  --app <name> [--thp] [--scale <f>]
+  mehpt record   --app <name> --out <file> [--scale <f>] [--nodes <n>]
+  mehpt replay   --trace <file> --pt <radix|ecpt|mehpt> [--thp] [--frag <f>]";
+
+/// Tiny flag parser: `--key value` pairs plus boolean flags.
+struct Flags<'a>(&'a [String]);
+
+impl<'a> Flags<'a> {
+    fn get(&self, key: &str) -> Option<&'a str> {
+        self.0
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.0.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.0.iter().any(|a| a == key)
+    }
+
+    fn parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for {key}: {v:?}")),
+        }
+    }
+}
+
+fn find_app(name: &str) -> Result<App, String> {
+    App::all()
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown app {name:?}; try `mehpt apps`"))
+}
+
+fn parse_kind(s: &str) -> Result<PtKind, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "radix" => Ok(PtKind::Radix),
+        "ecpt" => Ok(PtKind::Ecpt),
+        "mehpt" | "me-hpt" => Ok(PtKind::MeHpt),
+        other => Err(format!("unknown page table {other:?} (radix|ecpt|mehpt)")),
+    }
+}
+
+fn build_workload(flags: &Flags) -> Result<Workload, String> {
+    let app = find_app(flags.get("--app").ok_or("--app is required")?)?;
+    let cfg = WorkloadCfg {
+        scale: flags.parse("--scale", 1.0)?,
+        seed: flags.parse("--seed", 42u64)?,
+        graph_nodes: flags.parse("--nodes", 1_000_000u64)?,
+    };
+    Ok(app.build(&cfg))
+}
+
+fn build_config(flags: &Flags, kind: PtKind) -> Result<SimConfig, String> {
+    let mut cfg = SimConfig::paper(kind, flags.has("--thp"));
+    cfg.fragmentation = flags.parse("--frag", 0.7)?;
+    cfg.mem_bytes = flags.parse("--mem-gb", 64u64)? * GIB;
+    Ok(cfg)
+}
+
+fn cmd_apps() -> Result<(), String> {
+    println!("{:<10} {:>10} {}", "name", "data", "kind");
+    for app in App::all() {
+        let wl = app.build(&WorkloadCfg {
+            scale: 0.001,
+            ..WorkloadCfg::default()
+        });
+        println!(
+            "{:<10} {:>10} {}",
+            app.name(),
+            ByteSize(wl.nominal_data_bytes()).to_string(),
+            if app.is_graph() {
+                "graph analytics (GraphBIG)"
+            } else {
+                "memory-intensive benchmark"
+            }
+        );
+    }
+    Ok(())
+}
+
+fn print_report(r: &SimReport) {
+    println!("app:                {}", r.app);
+    println!(
+        "page table:         {} (THP {})",
+        r.kind.label(),
+        if r.thp { "on" } else { "off" }
+    );
+    println!("accesses:           {}", r.accesses);
+    println!("total cycles:       {}", r.total_cycles);
+    println!(
+        "  base/translation/fault/alloc/pt-maintenance: {} / {} / {} / {} / {}",
+        r.base_cycles, r.translation_cycles, r.fault_cycles, r.alloc_cycles, r.os_pt_cycles
+    );
+    println!(
+        "page faults:        {} ({} x 4KB, {} x 2MB)",
+        r.faults, r.pages_4k, r.pages_2m
+    );
+    println!(
+        "walks:              {} (mean {:.1} cycles, {:.2} accesses)",
+        r.walks, r.mean_walk_cycles, r.mean_walk_accesses
+    );
+    println!("TLB miss rate:      {:.4}", r.tlb_miss_rate);
+    println!(
+        "PT memory:          {} final, {} peak",
+        ByteSize(r.pt_final_bytes),
+        ByteSize(r.pt_peak_bytes)
+    );
+    println!("PT max contiguous:  {}", ByteSize(r.pt_max_contiguous));
+    if r.kind == PtKind::MeHpt {
+        println!("L2P entries used:   {}", r.l2p_entries_used);
+        println!("chunk switches:     {}", r.chunk_switches);
+    }
+    if let Some(msg) = &r.aborted {
+        println!("ABORTED:            {msg}");
+    }
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let flags = Flags(args);
+    let kind = parse_kind(flags.get("--pt").ok_or("--pt is required")?)?;
+    let wl = build_workload(&flags)?;
+    let cfg = build_config(&flags, kind)?;
+    let report = Simulator::run(wl, cfg);
+    print_report(&report);
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let flags = Flags(args);
+    println!(
+        "{:<8} {:>14} {:>12} {:>12} {:>12} {:>8}",
+        "design", "cycles", "walk cyc", "PT peak", "contig", "speedup"
+    );
+    let mut base = None;
+    for kind in [PtKind::Radix, PtKind::Ecpt, PtKind::MeHpt] {
+        let wl = build_workload(&flags)?;
+        let cfg = build_config(&flags, kind)?;
+        let r = Simulator::run(wl, cfg);
+        let cpa = r.total_cycles as f64 / r.accesses.max(1) as f64;
+        let speedup = *base.get_or_insert(cpa) / cpa;
+        println!(
+            "{:<8} {:>14} {:>12.0} {:>12} {:>12} {:>7.2}x{}",
+            kind.label(),
+            r.total_cycles,
+            r.mean_walk_cycles,
+            ByteSize(r.pt_peak_bytes).to_string(),
+            ByteSize(r.pt_max_contiguous).to_string(),
+            speedup,
+            r.aborted
+                .as_deref()
+                .map(|m| format!("  ABORTED: {m}"))
+                .unwrap_or_default()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_record(args: &[String]) -> Result<(), String> {
+    let flags = Flags(args);
+    let out = flags.get("--out").ok_or("--out is required")?;
+    let wl = build_workload(&flags)?;
+    let regions = wl.regions().to_vec();
+    let accesses: Vec<_> = wl.collect();
+    let trace = FileTrace::from_parts(regions, accesses);
+    let file = std::fs::File::create(out).map_err(|e| e.to_string())?;
+    trace
+        .write_to(std::io::BufWriter::new(file))
+        .map_err(|e| e.to_string())?;
+    println!("wrote {} accesses to {out}", trace.accesses().len());
+    Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let flags = Flags(args);
+    let path = flags.get("--trace").ok_or("--trace is required")?;
+    let kind = parse_kind(flags.get("--pt").ok_or("--pt is required")?)?;
+    let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
+    let trace = FileTrace::parse(std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
+    let wl = trace.into_workload(path);
+    let cfg = build_config(&flags, kind)?;
+    let report = Simulator::run(wl, cfg);
+    print_report(&report);
+    Ok(())
+}
