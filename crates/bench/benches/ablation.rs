@@ -5,8 +5,12 @@
 //! This also reproduces Section VII-D's argument emergently: without
 //! in-place + per-way resizing, GUPS's L2P subtables overflow and the
 //! design is forced onto 8MB chunks.
+//!
+//! The cells run on the mehpt-lab engine (parallel, deterministic); the
+//! table here is the one rendering the lab presets do not cover.
 
-use bench::{run, RunKey, Variant};
+use bench::Variant;
+use mehpt_lab::ExperimentGrid;
 use mehpt_sim::PtKind;
 use mehpt_workloads::App;
 
@@ -15,22 +19,38 @@ fn main() {
         "Ablation: each ME-HPT technique toggled independently",
         "Section VII-D and Figure 10's mechanism",
     );
-    for app in [App::Gups, App::Bfs, App::Mummer] {
+    let apps = [App::Gups, App::Bfs, App::Mummer];
+    let mut grid = ExperimentGrid::paper(
+        apps.to_vec(),
+        vec![PtKind::Ecpt, PtKind::MeHpt],
+        vec![false],
+    );
+    grid.variants = vec![
+        Variant::Full,
+        Variant::NoInPlace,
+        Variant::NoPerWay,
+        Variant::Neither,
+        Variant::Fixed1Mb,
+    ];
+    let report = bench::run_grid("ablation", &grid);
+
+    for app in apps {
         println!("\n--- {} (no THP) ---", app.name());
         println!(
             "{:<22} | {:>10} {:>10} {:>10} {:>8}",
             "variant", "peak PT", "contig", "cycles(G)", "switches"
         );
         println!("{}", "-".repeat(70));
-        let ecpt = run(&RunKey::paper(app, PtKind::Ecpt, false));
-        println!(
-            "{:<22} | {:>10} {:>10} {:>10.2} {:>8}",
-            "ECPT baseline",
-            bench::fmt_bytes(ecpt.pt_peak_bytes),
-            bench::fmt_bytes(ecpt.pt_max_contiguous),
-            ecpt.total_cycles as f64 / 1e9,
-            "-"
-        );
+        if let Some(ecpt) = report.metrics(app, PtKind::Ecpt, false, Variant::Full) {
+            println!(
+                "{:<22} | {:>10} {:>10} {:>10.2} {:>8}",
+                "ECPT baseline",
+                bench::fmt_bytes(ecpt.pt_peak_bytes),
+                bench::fmt_bytes(ecpt.pt_max_contiguous),
+                ecpt.total_cycles as f64 / 1e9,
+                "-"
+            );
+        }
         for (label, variant) in [
             ("ME-HPT full", Variant::Full),
             ("  - in-place resizing", Variant::NoInPlace),
@@ -38,13 +58,10 @@ fn main() {
             ("  - both", Variant::Neither),
             ("  1MB-only chunks", Variant::Fixed1Mb),
         ] {
-            let r = run(&RunKey {
-                app,
-                kind: PtKind::MeHpt,
-                thp: false,
-                variant,
-                graph_nodes: 1_000_000,
-            });
+            let Some(r) = report.metrics(app, PtKind::MeHpt, false, variant) else {
+                println!("{label:<22} | (cell missing or failed)");
+                continue;
+            };
             println!(
                 "{:<22} | {:>10} {:>10} {:>10.2} {:>8}",
                 label,

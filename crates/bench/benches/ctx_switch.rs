@@ -4,9 +4,12 @@
 //! (on average ~53) and the valid entries cluster at the subtable ends.
 //!
 //! This experiment derives the per-application context-switch footprint
-//! from the measured L2P usage.
+//! from the measured L2P usage. The measurement cells are exactly the
+//! `fig16` preset's grid (every app, ME-HPT, no THP), run on the lab
+//! engine.
 
-use bench::{apps, run, RunKey};
+use bench::Variant;
+use mehpt_lab::Preset;
 use mehpt_sim::PtKind;
 
 /// Bits per saved L2P entry (Section V-B: 33-bit chunk base).
@@ -21,21 +24,27 @@ fn main() {
         "Extension: L2P context-switch save/restore cost",
         "Sections V-C and VII-E4 (~53 entries used on average)",
     );
+    let report = bench::run_grid("ctx_switch", &Preset::Fig16.grid());
     println!(
         "{:<9} | {:>9} {:>11} {:>12} | {:>13}",
         "App", "entries", "state(B)", "cycles", "vs full 288"
     );
     println!("{}", "-".repeat(64));
     let mut total_cycles = 0.0;
+    let mut rows = 0u32;
     let full_bytes = 288.0 * BITS_PER_ENTRY / 8.0;
     let full_cycles = BASE_CYCLES + 2.0 * CYCLES_PER_QWORD * full_bytes / 8.0;
-    for app in apps() {
-        let r = run(&RunKey::paper(app, PtKind::MeHpt, false));
+    for app in bench::apps() {
+        let Some(r) = report.metrics(app, PtKind::MeHpt, false, Variant::Full) else {
+            println!("{:<9} | (cell missing or failed)", app.name());
+            continue;
+        };
         let entries = r.l2p_entries_used as f64;
         let bytes = entries * BITS_PER_ENTRY / 8.0;
         // Save on switch-out + restore on switch-in.
         let cycles = BASE_CYCLES + 2.0 * CYCLES_PER_QWORD * bytes / 8.0;
         total_cycles += cycles;
+        rows += 1;
         println!(
             "{:<9} | {:>9} {:>10.0}B {:>12.0} | {:>12.0}%",
             app.name(),
@@ -48,7 +57,7 @@ fn main() {
     println!("{}", "-".repeat(64));
     println!(
         "average: {:.0} cycles per switch (full-table save would be {:.0});",
-        total_cycles / 11.0,
+        total_cycles / f64::from(rows.max(1)),
         full_cycles
     );
     println!("at 1ms time slices and 2GHz that is <0.01% of a slice.");

@@ -1,81 +1,10 @@
-//! Figure 10 — reduction in page-table memory attained by ME-HPT over the
-//! ECPT baseline, decomposed into the in-place-resizing and per-way-resizing
-//! contributions, without and with THP.
+//! Figure 10 — page-table memory reduction over ECPT, by technique.
 //!
-//! Decomposition follows the ablation logic: the in-place contribution is
-//! the extra peak memory a per-way-only build needs over the full design;
-//! the per-way contribution is the extra peak memory of an in-place-only
-//! build; shares are normalized over the total reduction vs ECPT.
-
-use bench::{apps, run, RunKey, Variant};
-use mehpt_sim::PtKind;
-
-fn row(app: mehpt_workloads::App, thp: bool) -> (f64, f64, f64, f64) {
-    let key = |kind, variant| RunKey {
-        app,
-        kind,
-        thp,
-        variant,
-        graph_nodes: 1_000_000,
-    };
-    let ecpt = run(&key(PtKind::Ecpt, Variant::Full)).pt_peak_bytes as f64;
-    let full = run(&key(PtKind::MeHpt, Variant::Full)).pt_peak_bytes as f64;
-    let no_inplace = run(&key(PtKind::MeHpt, Variant::NoInPlace)).pt_peak_bytes as f64;
-    let no_perway = run(&key(PtKind::MeHpt, Variant::NoPerWay)).pt_peak_bytes as f64;
-    let reduction = (ecpt - full).max(0.0);
-    let d_inplace = (no_inplace - full).max(0.0);
-    let d_perway = (no_perway - full).max(0.0);
-    let denom = (d_inplace + d_perway).max(1.0);
-    let inplace_share = d_inplace / denom;
-    (
-        reduction / ecpt.max(1.0),       // fraction of ECPT memory saved
-        reduction / (1u64 << 20) as f64, // absolute MB
-        inplace_share,
-        1.0 - inplace_share,
-    )
-}
+//! Thin wrapper over the `mehpt-lab fig10` preset: the grid definition and
+//! renderer live in `crates/lab` (see EXPERIMENTS.md for the full preset
+//! map). Prefer the `mehpt-lab` binary for `--jobs`/`--quick` control
+//! and JSON/CSV reports.
 
 fn main() {
-    bench::announce(
-        "Figure 10: Page-table memory reduction over ECPT, by technique",
-        "Figure 10 (43%/41% savings; in-place 75-80%, per-way 20-25% of it)",
-    );
-    println!(
-        "{:<9} | {:>7} {:>8} {:>9} {:>8} | {:>7} {:>8} {:>9} {:>8}",
-        "App", "red%", "abs(MB)", "inplace%", "perway%", "redTHP%", "absTHP", "inplace%", "perway%"
-    );
-    println!("{}", "-".repeat(88));
-    let mut reds = Vec::new();
-    let mut reds_thp = Vec::new();
-    let mut in_shares = Vec::new();
-    for app in apps() {
-        let (red, mb, ip, pw) = row(app, false);
-        let (red_t, mb_t, ip_t, pw_t) = row(app, true);
-        reds.push(red);
-        reds_thp.push(red_t);
-        in_shares.push(ip);
-        println!(
-            "{:<9} | {:>6.0}% {:>8.1} {:>8.0}% {:>7.0}% | {:>6.0}% {:>8.1} {:>8.0}% {:>7.0}%",
-            app.name(),
-            red * 100.0,
-            mb,
-            ip * 100.0,
-            pw * 100.0,
-            red_t * 100.0,
-            mb_t,
-            ip_t * 100.0,
-            pw_t * 100.0
-        );
-    }
-    println!("{}", "-".repeat(88));
-    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    println!(
-        "Average reduction: {:.0}% (no THP), {:.0}% (THP); in-place share {:.0}%",
-        avg(&reds) * 100.0,
-        avg(&reds_thp) * 100.0,
-        avg(&in_shares) * 100.0
-    );
-    println!();
-    println!("Paper: 43% (no THP) and 41% (THP) average savings; in-place");
-    println!("resizing contributes 75-80% of the savings, per-way 20-25%.");
+    std::process::exit(bench::run_preset(mehpt_lab::Preset::Fig10));
 }

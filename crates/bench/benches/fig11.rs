@@ -1,58 +1,10 @@
-//! Figure 11 — number of upsizing operations per way in the ME-HPT for
-//! 4KB pages, without and with THP (plus the 2MB-table upsizes the paper
-//! reports in the text).
-
-use bench::{apps, run, RunKey};
-use mehpt_sim::PtKind;
-
-fn fmt_ways(v: &[u64]) -> String {
-    if v.is_empty() {
-        return "0/0/0".to_string();
-    }
-    v.iter().map(u64::to_string).collect::<Vec<_>>().join("/")
-}
+//! Figure 11 — upsizing operations per way.
+//!
+//! Thin wrapper over the `mehpt-lab fig11` preset: the grid definition and
+//! renderer live in `crates/lab` (see EXPERIMENTS.md for the full preset
+//! map). Prefer the `mehpt-lab` binary for `--jobs`/`--quick` control
+//! and JSON/CSV reports.
 
 fn main() {
-    bench::announce(
-        "Figure 11: Upsizing operations per way (ME-HPT, 4KB tables)",
-        "Figure 11 (avg ~10.6/10.5/9.9 per way; 13 max for GUPS/SysBench)",
-    );
-    println!(
-        "{:<9} | {:>14} {:>14} | {:>14} {:>14}",
-        "App", "4KB ways", "4KB ways THP", "2MB ways", "2MB ways THP"
-    );
-    println!("{}", "-".repeat(74));
-    let mut sums = [0.0f64; 3];
-    let mut n = 0;
-    for app in apps() {
-        let plain = run(&RunKey::paper(app, PtKind::MeHpt, false));
-        let thp = run(&RunKey::paper(app, PtKind::MeHpt, true));
-        println!(
-            "{:<9} | {:>14} {:>14} | {:>14} {:>14}",
-            app.name(),
-            fmt_ways(&plain.upsizes_per_way_4k),
-            fmt_ways(&thp.upsizes_per_way_4k),
-            fmt_ways(&plain.upsizes_per_way_2m),
-            fmt_ways(&thp.upsizes_per_way_2m),
-        );
-        if plain.upsizes_per_way_4k.len() == 3 {
-            for (s, &u) in sums.iter_mut().zip(&plain.upsizes_per_way_4k) {
-                *s += u as f64;
-            }
-            n += 1;
-        }
-    }
-    println!("{}", "-".repeat(74));
-    if n > 0 {
-        println!(
-            "Average upsizes per way (no THP): {:.1} / {:.1} / {:.1}",
-            sums[0] / n as f64,
-            sums[1] / n as f64,
-            sums[2] / n as f64
-        );
-    }
-    println!();
-    println!("Paper: ways upsized 10.6/10.5/9.9 times on average (no THP);");
-    println!("GUPS/SysBench peak at 13 per way and never upsize their 4KB");
-    println!("tables under THP (5 upsizes per way in the 2MB tables instead).");
+    std::process::exit(bench::run_preset(mehpt_lab::Preset::Fig11));
 }

@@ -1,54 +1,10 @@
-//! Figure 12 — final size of each way of the ME-HPT for 4KB pages,
-//! without and with THP.
-
-use bench::{apps, fmt_bytes, run, RunKey};
-use mehpt_sim::PtKind;
-
-fn fmt_ways(v: &[u64]) -> String {
-    if v.is_empty() {
-        // The table was never created: it retains the notional initial
-        // 8KB way (the paper plots "8KB" for GUPS/SysBench under THP).
-        return "8KB*".to_string();
-    }
-    v.iter()
-        .map(|&b| fmt_bytes(b))
-        .collect::<Vec<_>>()
-        .join(" / ")
-}
+//! Figure 12 — final size of each ME-HPT way.
+//!
+//! Thin wrapper over the `mehpt-lab fig12` preset: the grid definition and
+//! renderer live in `crates/lab` (see EXPERIMENTS.md for the full preset
+//! map). Prefer the `mehpt-lab` binary for `--jobs`/`--quick` control
+//! and JSON/CSV reports.
 
 fn main() {
-    bench::announce(
-        "Figure 12: Size of each ME-HPT way (4KB tables)",
-        "Figure 12 (per-way resizing yields unequal way sizes)",
-    );
-    println!(
-        "{:<9} | {:>26} | {:>26}",
-        "App", "ways (no THP)", "ways (THP)"
-    );
-    println!("{}", "-".repeat(70));
-    let mut unequal = 0;
-    for app in apps() {
-        let plain = run(&RunKey::paper(app, PtKind::MeHpt, false));
-        let thp = run(&RunKey::paper(app, PtKind::MeHpt, true));
-        if plain
-            .way_sizes_4k
-            .iter()
-            .any(|&s| s != *plain.way_sizes_4k.first().unwrap_or(&0))
-        {
-            unequal += 1;
-        }
-        println!(
-            "{:<9} | {:>26} | {:>26}",
-            app.name(),
-            fmt_ways(&plain.way_sizes_4k),
-            fmt_ways(&thp.way_sizes_4k),
-        );
-    }
-    println!("{}", "-".repeat(70));
-    println!("Applications with unequal way sizes (no THP): {unequal} of 11");
-    println!("(* = table never instantiated; retains the initial 8KB way)");
-    println!();
-    println!("Paper: GUPS/SysBench reach 64MB per way without THP and stay at");
-    println!("the initial 8KB with THP; not all ways are equal — per-way");
-    println!("resizing at work.");
+    std::process::exit(bench::run_preset(mehpt_lab::Preset::Fig12));
 }

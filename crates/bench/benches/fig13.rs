@@ -1,43 +1,10 @@
-//! Figure 13 — fraction of page-table entries physically moved in an
-//! upsize of the 4KB tables under ME-HPT (≈0.5 expected: with in-place
-//! resizing, the extra hash-key bit keeps about half the entries in place).
-
-use bench::{apps, run, RunKey};
-use mehpt_sim::PtKind;
+//! Figure 13 — fraction of entries moved per 4KB-table upsize.
+//!
+//! Thin wrapper over the `mehpt-lab fig13` preset: the grid definition and
+//! renderer live in `crates/lab` (see EXPERIMENTS.md for the full preset
+//! map). Prefer the `mehpt-lab` binary for `--jobs`/`--quick` control
+//! and JSON/CSV reports.
 
 fn main() {
-    bench::announce(
-        "Figure 13: Fraction of entries moved per 4KB-table upsize (ME-HPT)",
-        "Figure 13 (≈0.5 on average)",
-    );
-    println!("{:<9} | {:>8} {:>8}", "App", "no THP", "THP");
-    println!("{}", "-".repeat(32));
-    let mut vals = Vec::new();
-    for app in apps() {
-        let plain = run(&RunKey::paper(app, PtKind::MeHpt, false));
-        let thp = run(&RunKey::paper(app, PtKind::MeHpt, true));
-        let fmt = |f: f64, ups: &Vec<u64>| {
-            if ups.iter().sum::<u64>() == 0 {
-                "-".to_string()
-            } else {
-                format!("{f:.2}")
-            }
-        };
-        if plain.upsizes_per_way_4k.iter().sum::<u64>() > 0 {
-            vals.push(plain.moved_fraction_4k);
-        }
-        println!(
-            "{:<9} | {:>8} {:>8}",
-            app.name(),
-            fmt(plain.moved_fraction_4k, &plain.upsizes_per_way_4k),
-            fmt(thp.moved_fraction_4k, &thp.upsizes_per_way_4k),
-        );
-    }
-    println!("{}", "-".repeat(32));
-    let avg = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
-    println!("Average moved fraction (no THP): {avg:.2}");
-    println!();
-    println!("Paper: close to the expected 0.5 for every application (out-of-");
-    println!("place baselines move 1.0 of the entries). Chunk-size switches");
-    println!("(at most one per run) are out-of-place and pull the mean above 0.5.");
+    std::process::exit(bench::run_preset(mehpt_lab::Preset::Fig13));
 }

@@ -1,37 +1,10 @@
-//! Figure 14 — number of L2P table entries used per application (of the
-//! 288 available: 32 entries × 3 ways × 3 page sizes).
-
-use bench::{apps, run, RunKey};
-use mehpt_sim::PtKind;
+//! Figure 14 — L2P table entries used per application.
+//!
+//! Thin wrapper over the `mehpt-lab fig14` preset: the grid definition and
+//! renderer live in `crates/lab` (see EXPERIMENTS.md for the full preset
+//! map). Prefer the `mehpt-lab` binary for `--jobs`/`--quick` control
+//! and JSON/CSV reports.
 
 fn main() {
-    bench::announce(
-        "Figure 14: L2P table entries used per application",
-        "Figure 14 (11 for TC up to 195 for MUMmer; 52.5 on average)",
-    );
-    println!("{:<9} | {:>8} {:>8}", "App", "no THP", "THP");
-    println!("{}", "-".repeat(32));
-    let mut total = 0usize;
-    let mut n = 0usize;
-    for app in apps() {
-        let plain = run(&RunKey::paper(app, PtKind::MeHpt, false));
-        let thp = run(&RunKey::paper(app, PtKind::MeHpt, true));
-        total += plain.l2p_entries_used + thp.l2p_entries_used;
-        n += 2;
-        println!(
-            "{:<9} | {:>8} {:>8}",
-            app.name(),
-            plain.l2p_entries_used,
-            thp.l2p_entries_used
-        );
-    }
-    println!("{}", "-".repeat(32));
-    println!(
-        "Average entries used: {:.1} of 288",
-        total as f64 / n as f64
-    );
-    println!();
-    println!("Paper: between 11 (TC) and 195 (MUMmer); 52.5 on average; GUPS and");
-    println!("SysBench use 192 (all 64 stolen-capacity entries of the three 4KB");
-    println!("subtables).");
+    std::process::exit(bench::run_preset(mehpt_lab::Preset::Fig14));
 }

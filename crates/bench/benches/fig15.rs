@@ -1,57 +1,10 @@
-//! Figure 15 — memory for a 4KB-HPT way for small graph inputs
-//! (1K/10K/100K nodes): ME-HPT restricted to 1MB chunks vs the default
-//! 8KB+1MB ladder. Small chunk sizes are what keep small processes cheap.
-
-use bench::{run, RunKey, Variant};
-use mehpt_sim::PtKind;
-use mehpt_workloads::App;
-
-fn avg_way_phys(nodes: u64, variant: Variant) -> f64 {
-    let mut total = 0.0;
-    let mut ways = 0usize;
-    for app in App::graph_apps() {
-        let r = run(&RunKey {
-            app,
-            kind: PtKind::MeHpt,
-            thp: false,
-            variant,
-            graph_nodes: nodes,
-        });
-        if r.way_phys_4k.is_empty() {
-            // never instantiated: one smallest chunk per way
-            let chunk = variant.config().chunk_policy.first() as f64;
-            total += 3.0 * chunk;
-            ways += 3;
-        } else {
-            total += r.way_phys_4k.iter().sum::<u64>() as f64;
-            ways += r.way_phys_4k.len();
-        }
-    }
-    total / ways.max(1) as f64
-}
+//! Figure 15 — average 4KB-HPT way memory for small graphs.
+//!
+//! Thin wrapper over the `mehpt-lab fig15` preset: the grid definition and
+//! renderer live in `crates/lab` (see EXPERIMENTS.md for the full preset
+//! map). Prefer the `mehpt-lab` binary for `--jobs`/`--quick` control
+//! and JSON/CSV reports.
 
 fn main() {
-    bench::announce(
-        "Figure 15: Average 4KB-HPT way memory for small graphs",
-        "Figure 15 (1MB-only wastes memory below ~100K nodes)",
-    );
-    println!(
-        "{:<14} | {:>16} {:>16}",
-        "Graph nodes", "ME-HPT 1MB", "ME-HPT 1MB+8KB"
-    );
-    println!("{}", "-".repeat(52));
-    for nodes in [1_000u64, 10_000, 100_000] {
-        let fixed = avg_way_phys(nodes, Variant::Fixed1Mb);
-        let ladder = avg_way_phys(nodes, Variant::Full);
-        println!(
-            "{:<14} | {:>14.0}KB {:>14.0}KB",
-            nodes,
-            fixed / 1024.0,
-            ladder / 1024.0
-        );
-    }
-    println!();
-    println!("Paper: ~16KB and ~128KB ways for 1K/10K nodes with the 8KB+1MB");
-    println!("ladder, while the 1MB-only design burns a full 1MB per way;");
-    println!("at 100K nodes both need about 1MB and converge.");
+    std::process::exit(bench::run_preset(mehpt_lab::Preset::Fig15));
 }

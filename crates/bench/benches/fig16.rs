@@ -1,57 +1,10 @@
-//! Figure 16 — distribution of cuckoo re-insertions per ME-HPT insertion
-//! or rehash, pooled over all applications (no THP).
-
-use bench::{apps, run, RunKey};
-use mehpt_sim::PtKind;
+//! Figure 16 — cuckoo re-insertion distribution.
+//!
+//! Thin wrapper over the `mehpt-lab fig16` preset: the grid definition and
+//! renderer live in `crates/lab` (see EXPERIMENTS.md for the full preset
+//! map). Prefer the `mehpt-lab` binary for `--jobs`/`--quick` control
+//! and JSON/CSV reports.
 
 fn main() {
-    bench::announce(
-        "Figure 16: Cuckoo re-insertions per insertion or rehash (ME-HPT)",
-        "Figure 16 (P(0) ≈ 0.64, mean ≈ 0.7)",
-    );
-    let mut hist: Vec<u64> = Vec::new();
-    for app in apps() {
-        let r = run(&RunKey::paper(app, PtKind::MeHpt, false));
-        if hist.len() < r.kicks_histogram.len() {
-            hist.resize(r.kicks_histogram.len(), 0);
-        }
-        for (dst, &src) in hist.iter_mut().zip(&r.kicks_histogram) {
-            *dst += src;
-        }
-    }
-    let total: u64 = hist.iter().sum();
-    println!("{:<14} {:>12} {:>10}", "re-insertions", "events", "P");
-    println!("{}", "-".repeat(38));
-    let mut mean = 0.0;
-    for (n, &count) in hist.iter().enumerate().take(12) {
-        let p = count as f64 / total.max(1) as f64;
-        mean += n as f64 * p;
-        let bar = "#".repeat((p * 50.0).round() as usize);
-        println!("{:<14} {:>12} {:>9.3} {}", n, count, p, bar);
-    }
-    let tail: u64 = hist.iter().skip(12).sum();
-    if tail > 0 {
-        println!(
-            "{:<14} {:>12} {:>9.3}",
-            "12+",
-            tail,
-            tail as f64 / total as f64
-        );
-    }
-    // Include the tail in the mean.
-    mean += hist
-        .iter()
-        .enumerate()
-        .skip(12)
-        .map(|(n, &c)| n as f64 * c as f64 / total.max(1) as f64)
-        .sum::<f64>();
-    println!("{}", "-".repeat(38));
-    println!(
-        "P(0 re-insertions) = {:.2}, mean = {:.2}",
-        hist.first().copied().unwrap_or(0) as f64 / total.max(1) as f64,
-        mean
-    );
-    println!();
-    println!("Paper: no re-insertion needed with probability 0.64; 0.7");
-    println!("re-insertions per insertion or rehash on average.");
+    std::process::exit(bench::run_preset(mehpt_lab::Preset::Fig16));
 }

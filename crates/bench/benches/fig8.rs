@@ -1,74 +1,10 @@
-//! Figure 8 — maximum size of the contiguous memory allocated for the
-//! HPTs, ECPT vs ME-HPT, without and with THP.
-
-use bench::{apps, fmt_bytes, run, RunKey};
-use mehpt_sim::PtKind;
+//! Figure 8 — maximum contiguous memory allocated for the HPTs.
+//!
+//! Thin wrapper over the `mehpt-lab fig8` preset: the grid definition and
+//! renderer live in `crates/lab` (see EXPERIMENTS.md for the full preset
+//! map). Prefer the `mehpt-lab` binary for `--jobs`/`--quick` control
+//! and JSON/CSV reports.
 
 fn main() {
-    bench::announce(
-        "Figure 8: Maximum contiguous memory allocated for the HPTs",
-        "Figure 8",
-    );
-    println!(
-        "{:<9} | {:>10} {:>10} | {:>10} {:>10} | {:>10}",
-        "App", "ECPT", "ECPT+THP", "ME-HPT", "MEHPT+THP", "reduction"
-    );
-    println!("{}", "-".repeat(72));
-    let mut reductions = Vec::new();
-    let mut reductions_thp = Vec::new();
-    let mut geo: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    for app in apps() {
-        let ecpt = run(&RunKey::paper(app, PtKind::Ecpt, false));
-        let ecpt_thp = run(&RunKey::paper(app, PtKind::Ecpt, true));
-        let mehpt = run(&RunKey::paper(app, PtKind::MeHpt, false));
-        let mehpt_thp = run(&RunKey::paper(app, PtKind::MeHpt, true));
-        let red = 1.0 - mehpt.pt_max_contiguous as f64 / ecpt.pt_max_contiguous.max(1) as f64;
-        let red_thp =
-            1.0 - mehpt_thp.pt_max_contiguous as f64 / ecpt_thp.pt_max_contiguous.max(1) as f64;
-        reductions.push(red);
-        reductions_thp.push(red_thp);
-        for (g, v) in geo.iter_mut().zip([
-            ecpt.pt_max_contiguous,
-            ecpt_thp.pt_max_contiguous,
-            mehpt.pt_max_contiguous,
-            mehpt_thp.pt_max_contiguous,
-        ]) {
-            g.push(v as f64);
-        }
-        println!(
-            "{:<9} | {:>10} {:>10} | {:>10} {:>10} | {:>9.0}%",
-            app.name(),
-            fmt_bytes(ecpt.pt_max_contiguous),
-            fmt_bytes(ecpt_thp.pt_max_contiguous),
-            fmt_bytes(mehpt.pt_max_contiguous),
-            fmt_bytes(mehpt_thp.pt_max_contiguous),
-            red * 100.0
-        );
-    }
-    println!("{}", "-".repeat(72));
-    let avg = reductions.iter().sum::<f64>() / reductions.len() as f64;
-    let avg_thp = reductions_thp.iter().sum::<f64>() / reductions_thp.len() as f64;
-    println!(
-        "Per-app mean reduction:     {:.0}% (no THP), {:.0}% (THP)",
-        avg * 100.0,
-        avg_thp * 100.0
-    );
-    // The paper's headline metric: the reduction of the (geometric) mean
-    // contiguous allocation, cf. Table I's GeoMean row (12.7MB for ECPT).
-    let g = |i: usize| bench::geomean(&geo[i]);
-    println!(
-        "GeoMean contiguity: ECPT {:.1}MB -> ME-HPT {:.2}MB ({:.0}% reduction, no THP)",
-        g(0) / (1 << 20) as f64,
-        g(2) / (1 << 20) as f64,
-        (1.0 - g(2) / g(0)) * 100.0
-    );
-    println!(
-        "GeoMean contiguity: ECPT {:.2}MB -> ME-HPT {:.3}MB ({:.0}% reduction, THP)",
-        g(1) / (1 << 20) as f64,
-        g(3) / (1 << 20) as f64,
-        (1.0 - g(3) / g(1)) * 100.0
-    );
-    println!();
-    println!("Paper: 92% (no THP) and 84% (THP) average reduction; the two most");
-    println!("demanding workloads (GUPS, SysBench) drop from 64MB to 1MB.");
+    std::process::exit(bench::run_preset(mehpt_lab::Preset::Fig8));
 }

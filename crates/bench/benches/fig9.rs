@@ -1,77 +1,10 @@
-//! Figure 9 — speedup of ME-HPT, ECPT, and Radix, without and with THP,
-//! over Radix without THP.
-
-use bench::{apps, geomean, run, RunKey};
-use mehpt_sim::PtKind;
+//! Figure 9 — speedup over radix without THP.
+//!
+//! Thin wrapper over the `mehpt-lab fig9` preset: the grid definition and
+//! renderer live in `crates/lab` (see EXPERIMENTS.md for the full preset
+//! map). Prefer the `mehpt-lab` binary for `--jobs`/`--quick` control
+//! and JSON/CSV reports.
 
 fn main() {
-    bench::announce(
-        "Figure 9: Speedup over Radix (no THP)",
-        "Figure 9 (ME-HPT: 1.09x/1.06x over ECPT, 1.23x/1.28x over Radix)",
-    );
-    println!(
-        "{:<9} | {:>7} {:>7} {:>7} | {:>9} {:>9} {:>9}",
-        "App", "Radix", "ECPT", "ME-HPT", "RadixTHP", "ECPT+THP", "MEHPT+THP"
-    );
-    println!("{}", "-".repeat(72));
-    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 6];
-    let mut vs_ecpt = Vec::new();
-    let mut vs_ecpt_thp = Vec::new();
-    for app in apps() {
-        let base = run(&RunKey::paper(app, PtKind::Radix, false));
-        let configs = [
-            (PtKind::Radix, false),
-            (PtKind::Ecpt, false),
-            (PtKind::MeHpt, false),
-            (PtKind::Radix, true),
-            (PtKind::Ecpt, true),
-            (PtKind::MeHpt, true),
-        ];
-        let mut speeds = Vec::new();
-        let mut note = String::new();
-        for (i, (kind, thp)) in configs.iter().enumerate() {
-            let r = run(&RunKey::paper(app, *kind, *thp));
-            if let Some(msg) = &r.aborted {
-                note = format!("  [{:?} thp={} aborted: {msg}]", kind, thp);
-            }
-            let s = r.speedup_over(&base);
-            cols[i].push(s);
-            speeds.push(s);
-        }
-        println!(
-            "{:<9} | {:>7.2} {:>7.2} {:>7.2} | {:>9.2} {:>9.2} {:>9.2}{}",
-            app.name(),
-            speeds[0],
-            speeds[1],
-            speeds[2],
-            speeds[3],
-            speeds[4],
-            speeds[5],
-            note
-        );
-        vs_ecpt.push(speeds[2] / speeds[1]);
-        vs_ecpt_thp.push(speeds[5] / speeds[4]);
-    }
-    println!("{}", "-".repeat(72));
-    println!(
-        "{:<9} | {:>7.2} {:>7.2} {:>7.2} | {:>9.2} {:>9.2} {:>9.2}",
-        "GeoMean",
-        geomean(&cols[0]),
-        geomean(&cols[1]),
-        geomean(&cols[2]),
-        geomean(&cols[3]),
-        geomean(&cols[4]),
-        geomean(&cols[5]),
-    );
-    println!();
-    println!(
-        "ME-HPT over ECPT: {:.2}x (no THP), {:.2}x (THP)   [paper: 1.09x / 1.06x]",
-        geomean(&vs_ecpt),
-        geomean(&vs_ecpt_thp)
-    );
-    println!(
-        "ME-HPT over Radix(no THP): {:.2}x; ME-HPT+THP: {:.2}x   [paper: 1.23x / 1.28x]",
-        geomean(&cols[2]),
-        geomean(&cols[5])
-    );
+    std::process::exit(bench::run_preset(mehpt_lab::Preset::Fig9));
 }

@@ -1,98 +1,117 @@
-//! Criterion micro-benchmarks: the latency of the core operations —
+//! Micro-benchmarks: the host-side latency of the core operations —
 //! elastic-cuckoo inserts/lookups across resize modes, buddy allocation,
 //! and timed page walks over the three page-table organizations.
+//!
+//! Timed with `std::time::Instant` (the workspace builds offline with no
+//! crates-io dependencies, so no criterion). Each benchmark warms up, then
+//! runs enough batches to smooth scheduler noise and reports the median
+//! batch's per-operation latency.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Instant;
+
 use mehpt_core::MeHpt;
 use mehpt_ecpt::{Ecpt, EcptWalker};
 use mehpt_hash::{Config, ElasticCuckooTable, ResizeMode, WaySizing};
 use mehpt_mem::{AllocCostModel, AllocTag, PhysMem};
 use mehpt_radix::{RadixPageTable, RadixWalker};
 use mehpt_tlb::MemoryModel;
-use mehpt_types::{PageSize, Ppn, VirtAddr, Vpn, GIB, MIB};
+use mehpt_types::{PageSize, Ppn, Vpn, GIB, MIB};
+
+const BATCHES: usize = 9;
+
+/// Times `ops` iterations of `body` per batch and prints the median
+/// batch's nanoseconds per operation.
+fn bench(name: &str, ops: u64, mut body: impl FnMut()) {
+    // Warm-up batch (untimed).
+    for _ in 0..ops {
+        body();
+    }
+    let mut per_op = Vec::with_capacity(BATCHES);
+    for _ in 0..BATCHES {
+        let start = Instant::now();
+        for _ in 0..ops {
+            body();
+        }
+        per_op.push(start.elapsed().as_nanos() as f64 / ops as f64);
+    }
+    per_op.sort_by(|a, b| a.total_cmp(b));
+    println!("{:<32} {:>10.1} ns/op", name, per_op[BATCHES / 2]);
+}
 
 fn mem() -> PhysMem {
     PhysMem::with_cost_model(GIB, AllocCostModel::zero_cost())
 }
 
-fn bench_cuckoo(c: &mut Criterion) {
-    let mut group = c.benchmark_group("elastic_cuckoo");
-    group.sample_size(20);
+fn bench_cuckoo() {
+    println!("\nelastic_cuckoo:");
     for (name, mode, sizing) in [
         (
-            "insert/oop_allway",
+            "  insert/oop_allway",
             ResizeMode::OutOfPlace,
             WaySizing::AllWay,
         ),
         (
-            "insert/inplace_perway",
+            "  insert/inplace_perway",
             ResizeMode::InPlace,
             WaySizing::PerWay,
         ),
     ] {
-        group.bench_function(name, |b| {
-            b.iter_batched(
-                || {
-                    ElasticCuckooTable::<u64, u64>::new(Config {
+        // Each "op" is one batch of 20k inserts into a fresh table; report
+        // per-insert latency by dividing the op count accordingly.
+        const INSERTS: u64 = 20_000;
+        bench(name, INSERTS, {
+            let mut t = ElasticCuckooTable::<u64, u64>::new(Config {
+                resize_mode: mode,
+                sizing,
+                ..Config::default()
+            });
+            let mut i = 0u64;
+            move || {
+                t.insert(i, i);
+                i += 1;
+                if i % INSERTS == 0 {
+                    t = ElasticCuckooTable::new(Config {
                         resize_mode: mode,
                         sizing,
                         ..Config::default()
-                    })
-                },
-                |mut t| {
-                    for i in 0..20_000u64 {
-                        t.insert(i, i);
-                    }
-                    t
-                },
-                BatchSize::SmallInput,
-            )
+                    });
+                }
+            }
         });
     }
-    group.bench_function("lookup/inplace_perway", |b| {
-        let mut t = ElasticCuckooTable::<u64, u64>::new(Config {
-            resize_mode: ResizeMode::InPlace,
-            sizing: WaySizing::PerWay,
-            ..Config::default()
-        });
-        for i in 0..20_000u64 {
-            t.insert(i, i);
-        }
-        let mut k = 0u64;
-        b.iter(|| {
-            k = (k + 7919) % 20_000;
-            std::hint::black_box(t.get(&k))
-        })
+    let mut t = ElasticCuckooTable::<u64, u64>::new(Config {
+        resize_mode: ResizeMode::InPlace,
+        sizing: WaySizing::PerWay,
+        ..Config::default()
     });
-    group.finish();
+    for i in 0..20_000u64 {
+        t.insert(i, i);
+    }
+    let mut k = 0u64;
+    bench("  lookup/inplace_perway", 100_000, move || {
+        k = (k + 7919) % 20_000;
+        std::hint::black_box(t.get(&k));
+    });
 }
 
-fn bench_buddy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("phys_mem");
-    group.sample_size(20);
-    group.bench_function("alloc_free_4k", |b| {
-        let mut m = mem();
-        b.iter(|| {
-            let chunk = m.alloc(4096, AllocTag::Data).unwrap();
-            m.free(chunk);
-        })
+fn bench_buddy() {
+    println!("\nphys_mem:");
+    let mut m = mem();
+    bench("  alloc_free_4k", 50_000, move || {
+        let chunk = m.alloc(4096, AllocTag::Data).unwrap();
+        m.free(chunk);
     });
-    group.bench_function("alloc_free_1m", |b| {
-        let mut m = mem();
-        b.iter(|| {
-            let chunk = m.alloc(MIB, AllocTag::PageTable).unwrap();
-            m.free(chunk);
-        })
+    let mut m = mem();
+    bench("  alloc_free_1m", 50_000, move || {
+        let chunk = m.alloc(MIB, AllocTag::PageTable).unwrap();
+        m.free(chunk);
     });
-    group.finish();
 }
 
-fn bench_walks(c: &mut Criterion) {
-    let mut group = c.benchmark_group("page_walk");
-    group.sample_size(20);
+fn bench_walks() {
+    println!("\npage_walk:");
     const PAGES: u64 = 50_000;
 
-    // Radix.
     let mut m = mem();
     let mut radix = RadixPageTable::new(&mut m).unwrap();
     for i in 0..PAGES {
@@ -100,42 +119,32 @@ fn bench_walks(c: &mut Criterion) {
             .map(Vpn(i * 7), PageSize::Base4K, Ppn(i), &mut m)
             .unwrap();
     }
-    group.bench_function("radix", |b| {
-        let mut walker = RadixWalker::paper_default();
-        let mut dram = MemoryModel::paper_default();
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 13) % PAGES;
-            std::hint::black_box(walker.walk(
-                &radix,
-                Vpn(i * 7).base_addr(PageSize::Base4K),
-                &mut dram,
-            ))
-        })
+    let mut walker = RadixWalker::paper_default();
+    let mut dram = MemoryModel::paper_default();
+    let mut i = 0u64;
+    bench("  radix", 100_000, move || {
+        i = (i + 13) % PAGES;
+        std::hint::black_box(walker.walk(
+            &radix,
+            Vpn(i * 7).base_addr(PageSize::Base4K),
+            &mut dram,
+        ));
     });
 
-    // ECPT.
     let mut m = mem();
     let mut ecpt = Ecpt::new(&mut m).unwrap();
     for i in 0..PAGES {
         ecpt.map(Vpn(i * 7), PageSize::Base4K, Ppn(i), &mut m)
             .unwrap();
     }
-    group.bench_function("ecpt", |b| {
-        let mut walker = EcptWalker::paper_default();
-        let mut dram = MemoryModel::paper_default();
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 13) % PAGES;
-            std::hint::black_box(walker.walk(
-                &ecpt,
-                Vpn(i * 7).base_addr(PageSize::Base4K),
-                &mut dram,
-            ))
-        })
+    let mut walker = EcptWalker::paper_default();
+    let mut dram = MemoryModel::paper_default();
+    let mut i = 0u64;
+    bench("  ecpt", 100_000, move || {
+        i = (i + 13) % PAGES;
+        std::hint::black_box(walker.walk(&ecpt, Vpn(i * 7).base_addr(PageSize::Base4K), &mut dram));
     });
 
-    // ME-HPT.
     let mut m = mem();
     let mut mehpt = MeHpt::new(&mut m).unwrap();
     for i in 0..PAGES {
@@ -143,22 +152,25 @@ fn bench_walks(c: &mut Criterion) {
             .map(Vpn(i * 7), PageSize::Base4K, Ppn(i), &mut m)
             .unwrap();
     }
-    group.bench_function("mehpt", |b| {
-        let mut walker = EcptWalker::paper_default();
-        let mut dram = MemoryModel::paper_default();
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 13) % PAGES;
-            std::hint::black_box(walker.walk(
-                &mehpt,
-                Vpn(i * 7).base_addr(PageSize::Base4K),
-                &mut dram,
-            ))
-        })
+    let mut walker = EcptWalker::paper_default();
+    let mut dram = MemoryModel::paper_default();
+    let mut i = 0u64;
+    bench("  mehpt", 100_000, move || {
+        i = (i + 13) % PAGES;
+        std::hint::black_box(walker.walk(
+            &mehpt,
+            Vpn(i * 7).base_addr(PageSize::Base4K),
+            &mut dram,
+        ));
     });
-    let _ = VirtAddr::new(0);
-    group.finish();
 }
 
-criterion_group!(benches, bench_cuckoo, bench_buddy, bench_walks);
-criterion_main!(benches);
+fn main() {
+    bench::announce(
+        "Micro-benchmarks: core operation latency on the host",
+        "implementation sanity checks (no paper counterpart)",
+    );
+    bench_cuckoo();
+    bench_buddy();
+    bench_walks();
+}

@@ -1,66 +1,10 @@
-//! Table I — memory consumption of the applications: data footprint,
-//! page-table contiguous memory (radix vs ECPT) and page-table total memory,
-//! without and with THP.
-
-use bench::{apps, fmt_mb, run, RunKey};
-use mehpt_sim::PtKind;
-use mehpt_types::GIB;
+//! Table I — memory consumption of the applications.
+//!
+//! Thin wrapper over the `mehpt-lab table1` preset: the grid definition and
+//! renderer live in `crates/lab` (see EXPERIMENTS.md for the full preset
+//! map). Prefer the `mehpt-lab` binary for `--jobs`/`--quick` control
+//! and JSON/CSV reports.
 
 fn main() {
-    bench::announce("Table I: Memory consumption of our applications", "Table I");
-    println!(
-        "{:<9} {:>7} | {:>10} {:>10} | {:>9} {:>9} | {:>9} {:>9}",
-        "App", "Data", "Contig", "Contig", "Total", "Total", "Total", "Total"
-    );
-    println!(
-        "{:<9} {:>7} | {:>10} {:>10} | {:>9} {:>9} | {:>9} {:>9}",
-        "", "(GB)", "Tree(KB)", "ECPT(KB)", "TreeMB", "ECPTMB", "TreeTHP", "ECPTTHP"
-    );
-    println!("{}", "-".repeat(88));
-    let mut geo: Vec<Vec<f64>> = vec![Vec::new(); 7];
-    for app in apps() {
-        let tree = run(&RunKey::paper(app, PtKind::Radix, false));
-        let tree_thp = run(&RunKey::paper(app, PtKind::Radix, true));
-        let ecpt = run(&RunKey::paper(app, PtKind::Ecpt, false));
-        let ecpt_thp = run(&RunKey::paper(app, PtKind::Ecpt, true));
-        let data_gb = tree.data_bytes_nominal as f64 / GIB as f64;
-        let cols = [
-            data_gb,
-            tree.pt_max_contiguous as f64 / 1024.0,
-            ecpt.pt_max_contiguous as f64 / 1024.0,
-            tree.pt_peak_bytes as f64,
-            ecpt.pt_peak_bytes as f64,
-            tree_thp.pt_peak_bytes as f64,
-            ecpt_thp.pt_peak_bytes as f64,
-        ];
-        for (g, c) in geo.iter_mut().zip(cols) {
-            g.push(c);
-        }
-        println!(
-            "{:<9} {:>7.1} | {:>10.0} {:>10.0} | {:>9} {:>9} | {:>9} {:>9}",
-            app.name(),
-            data_gb,
-            cols[1],
-            cols[2],
-            fmt_mb(tree.pt_peak_bytes),
-            fmt_mb(ecpt.pt_peak_bytes),
-            fmt_mb(tree_thp.pt_peak_bytes),
-            fmt_mb(ecpt_thp.pt_peak_bytes),
-        );
-    }
-    println!("{}", "-".repeat(88));
-    println!(
-        "{:<9} {:>7.1} | {:>10.1} {:>10.1} | {:>9.1} {:>9.1} | {:>9.1} {:>9.1}",
-        "GeoMean",
-        bench::geomean(&geo[0]),
-        bench::geomean(&geo[1]),
-        bench::geomean(&geo[2]),
-        bench::geomean(&geo[3]) / (1 << 20) as f64,
-        bench::geomean(&geo[4]) / (1 << 20) as f64,
-        bench::geomean(&geo[5]) / (1 << 20) as f64,
-        bench::geomean(&geo[6]) / (1 << 20) as f64,
-    );
-    println!();
-    println!("Paper (GeoMean row of Table I): data 13.9GB, tree contiguity 4KB,");
-    println!("ECPT contiguity 12.7MB, tree/ECPT totals 23.5/56.0MB (no THP) and 7.9/18.0MB (THP).");
+    std::process::exit(bench::run_preset(mehpt_lab::Preset::Table1));
 }

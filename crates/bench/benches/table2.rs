@@ -1,41 +1,10 @@
-//! Table II — maximum HPT way sizes and maximum total HPT mapping space
-//! for each chunk size. Analytic: derived directly from the design's
-//! constants (64 L2P entries per subtable after stealing, 64-byte cluster
-//! entries holding 8 translations, 3 ways).
-
-use bench::fmt_bytes;
-use mehpt_core::ChunkSizePolicy;
-use mehpt_ecpt::{ClusterEntry, CLUSTER_PTES};
-use mehpt_types::PageSize;
+//! Table II — max HPT way sizes and mapping space per chunk size (analytic).
+//!
+//! Thin wrapper over the `mehpt-lab table2` preset: the grid definition and
+//! renderer live in `crates/lab` (see EXPERIMENTS.md for the full preset
+//! map). Prefer the `mehpt-lab` binary for `--jobs`/`--quick` control
+//! and JSON/CSV reports.
 
 fn main() {
-    bench::announce(
-        "Table II: Maximum HPT way sizes and mapping space per chunk size",
-        "Table II",
-    );
-    // With stealing, one subtable can hold 2 × 32 = 64 chunk pointers.
-    let max_chunks: u64 = 64;
-    let ways: u64 = 3;
-    println!(
-        "{:<10} {:>14} {:>24} {:>24}",
-        "Chunk", "Max way size", "Map space (4KB pages)", "Map space (2MB pages)"
-    );
-    println!("{}", "-".repeat(76));
-    for &chunk in ChunkSizePolicy::paper_default().sizes() {
-        let way_bytes = max_chunks * chunk;
-        let entries = ways * way_bytes / ClusterEntry::BYTES;
-        let pages = entries * CLUSTER_PTES as u64;
-        let space_4k = pages * PageSize::Base4K.bytes();
-        let space_2m = pages * PageSize::Huge2M.bytes();
-        println!(
-            "{:<10} {:>14} {:>24} {:>24}",
-            fmt_bytes(chunk),
-            fmt_bytes(way_bytes),
-            fmt_bytes(space_4k),
-            fmt_bytes(space_2m)
-        );
-    }
-    println!();
-    println!("Paper: 8KB→512KB way, 768MB / 384GB; 1MB→64MB way, 96GB / 48TB;");
-    println!("       8MB→512MB way, 768GB / 384TB; 64MB→4GB way, 6TB / 3PB.");
+    std::process::exit(bench::run_preset(mehpt_lab::Preset::Table2));
 }

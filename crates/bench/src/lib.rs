@@ -1,33 +1,32 @@
 //! Shared harness for the benchmark targets that regenerate every table and
 //! figure of *Memory-Efficient Hashed Page Tables* (HPCA 2023).
 //!
-//! Each `[[bench]]` target (`table1`, `fig8` … `fig16`, `alloc_cost`,
-//! `ablation`, `levelhash`) is a standalone binary printing the same rows or
-//! series the paper reports. Because most figures derive from the same
-//! simulation runs, completed [`SimReport`]s are cached on disk under
-//! `target/mehpt-results/`; the first bench target to need a run performs
-//! it, later targets reload it.
+//! The heavy lifting lives in the `mehpt-lab` crate: each paper table or
+//! figure is a [`Preset`] there, and the `[[bench]]` targets here
+//! (`table1`, `fig8` … `fig16`) are thin wrappers that run the matching
+//! preset on the lab's parallel, deterministic engine. Prefer the
+//! `mehpt-lab` binary directly — it adds `--jobs`, `--quick`, fragmentation
+//! sweeps and structured JSON/CSV reports; these targets exist so
+//! `cargo bench --bench fig9` keeps working.
 //!
 //! Environment knobs:
 //!
 //! * `MEHPT_SCALE` — scales workload footprints and access counts
 //!   (default `1.0`, the calibrated paper-matching size; use e.g. `0.1`
 //!   for a quick pass).
-//! * `MEHPT_RESULTS` — overrides the cache directory.
+//! * `MEHPT_JOBS` — worker threads (default: available parallelism).
+//!   Results are identical for every value.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
-use std::fmt::Write as _;
-use std::path::PathBuf;
+use mehpt_lab::cli::LabArgs;
+use mehpt_lab::engine::{run_cells, RunOptions};
+use mehpt_lab::{ExperimentGrid, LabReport, Preset, Tuning};
+use mehpt_workloads::App;
 
-use mehpt_core::{ChunkSizePolicy, MeHptConfig};
-use mehpt_sim::{PtKind, SimConfig, SimReport, Simulator};
-use mehpt_workloads::{App, WorkloadCfg};
-
-/// Bump to invalidate all cached runs after a model change.
-const CACHE_VERSION: u32 = 5;
+pub use mehpt_lab::fmt::{fmt_bytes, fmt_mb, geomean};
+pub use mehpt_lab::Variant;
 
 /// The workload scale factor from `MEHPT_SCALE` (default 1.0).
 pub fn scale() -> f64 {
@@ -37,238 +36,64 @@ pub fn scale() -> f64 {
         .unwrap_or(1.0)
 }
 
-/// An ME-HPT design variant for the ablation experiments.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Variant {
-    /// The full design (both techniques on).
-    Full,
-    /// In-place resizing disabled (per-way only).
-    NoInPlace,
-    /// Per-way resizing disabled (in-place only).
-    NoPerWay,
-    /// Both disabled: chunked storage only.
-    Neither,
-    /// Single-size 1MB chunk ladder (Figure 15's `ME-HPT 1MB`).
-    Fixed1Mb,
+/// Worker threads from `MEHPT_JOBS` (default 0 = available parallelism).
+pub fn jobs() -> usize {
+    std::env::var("MEHPT_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
 }
 
-impl Variant {
-    /// Short cache/display tag.
-    pub fn tag(self) -> &'static str {
-        match self {
-            Variant::Full => "full",
-            Variant::NoInPlace => "noinplace",
-            Variant::NoPerWay => "noperway",
-            Variant::Neither => "neither",
-            Variant::Fixed1Mb => "fixed1mb",
-        }
-    }
-
-    /// The ME-HPT configuration for this variant.
-    pub fn config(self) -> MeHptConfig {
-        let base = MeHptConfig::default();
-        match self {
-            Variant::Full => base,
-            Variant::NoInPlace => MeHptConfig {
-                in_place: false,
-                ..base
-            },
-            Variant::NoPerWay => MeHptConfig {
-                per_way: false,
-                ..base
-            },
-            Variant::Neither => MeHptConfig {
-                in_place: false,
-                per_way: false,
-                ..base
-            },
-            Variant::Fixed1Mb => MeHptConfig {
-                chunk_policy: ChunkSizePolicy::fixed(1 << 20),
-                ..base
-            },
-        }
+/// The lab tuning the bench targets run under (`MEHPT_SCALE` applied).
+pub fn tuning() -> Tuning {
+    Tuning {
+        scale: scale(),
+        ..Tuning::default()
     }
 }
 
-/// Identifies one simulation run for caching.
-#[derive(Clone, Debug)]
-pub struct RunKey {
-    /// Application under test.
-    pub app: App,
-    /// Page-table organization.
-    pub kind: PtKind,
-    /// THP on/off.
-    pub thp: bool,
-    /// ME-HPT variant (ignored for radix/ECPT).
-    pub variant: Variant,
-    /// Graph node count (graph apps only).
-    pub graph_nodes: u64,
+/// Runs one lab preset with the environment's scale/jobs and returns its
+/// exit code (0 unless a cell panicked).
+pub fn run_preset(preset: Preset) -> i32 {
+    // Bench executables run with CWD = crates/bench; anchor the reports at
+    // the workspace target/ like a root `mehpt-lab` invocation would.
+    let mut out = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    out.pop();
+    out.pop();
+    out.push("target");
+    out.push("lab");
+    let args = LabArgs {
+        presets: vec![preset],
+        jobs: jobs(),
+        tuning: tuning(),
+        out,
+        ..LabArgs::default()
+    };
+    mehpt_lab::cli::run(&args)
 }
 
-impl RunKey {
-    /// A paper-default run of `app` under `kind` (±THP).
-    pub fn paper(app: App, kind: PtKind, thp: bool) -> RunKey {
-        RunKey {
-            app,
-            kind,
-            thp,
-            variant: Variant::Full,
-            graph_nodes: 1_000_000,
-        }
-    }
-
-    fn filename(&self, scale: f64) -> String {
-        format!(
-            "v{}-{}-{:?}-{}-{}-{}-s{}.run",
-            CACHE_VERSION,
-            self.app.name(),
-            self.kind,
-            if self.thp { "thp" } else { "nothp" },
-            self.variant.tag(),
-            self.graph_nodes,
-            scale,
-        )
-    }
-}
-
-fn results_dir() -> PathBuf {
-    if let Ok(dir) = std::env::var("MEHPT_RESULTS") {
-        return PathBuf::from(dir);
-    }
-    // CARGO_MANIFEST_DIR = crates/bench; cache under the workspace target.
-    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    p.pop();
-    p.pop();
-    p.push("target");
-    p.push("mehpt-results");
-    p
-}
-
-/// Runs (or reloads from cache) one simulation.
-pub fn run(key: &RunKey) -> SimReport {
-    let s = scale();
-    let dir = results_dir();
-    let path = dir.join(key.filename(s));
-    if let Ok(text) = std::fs::read_to_string(&path) {
-        if let Some(report) = decode(&text) {
-            return report;
-        }
-    }
-    eprintln!(
-        "  [running {} / {:?} / thp={} / {} …]",
-        key.app.name(),
-        key.kind,
-        key.thp,
-        key.variant.tag()
-    );
-    let wl = key.app.build(&WorkloadCfg {
-        scale: s,
-        seed: 42,
-        graph_nodes: key.graph_nodes,
+/// Expands and runs an ad-hoc grid on the lab engine (progress on stderr)
+/// and returns the assembled report. Used by the targets that need cells
+/// outside any preset (`ablation`, `ctx_switch`).
+pub fn run_grid(name: &str, grid: &ExperimentGrid) -> LabReport {
+    let t = tuning();
+    let specs = grid.expand(&t);
+    let cells = run_cells(&specs, &RunOptions { jobs: jobs() }, &|p| {
+        eprintln!(
+            "[{:>3}/{}] {:>7}  {}",
+            p.done,
+            p.total,
+            p.status.label(),
+            p.id
+        );
     });
-    let mut cfg = SimConfig::paper(key.kind, key.thp);
-    cfg.mehpt = key.variant.config();
-    let report = Simulator::run(wl, cfg);
-    let _ = std::fs::create_dir_all(&dir);
-    let _ = std::fs::write(&path, encode(&report));
-    report
+    LabReport {
+        preset: name.to_string(),
+        scale: t.scale,
+        base_seed: t.base_seed,
+        cells,
+    }
 }
-
-// ---- SimReport text codec (no external serialization deps) ----
-
-fn encode(r: &SimReport) -> String {
-    let mut s = String::new();
-    let join = |v: &[u64]| v.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
-    let _ = writeln!(s, "app={}", r.app);
-    let _ = writeln!(s, "kind={:?}", r.kind);
-    let _ = writeln!(s, "thp={}", r.thp);
-    let _ = writeln!(s, "accesses={}", r.accesses);
-    let _ = writeln!(s, "total_cycles={}", r.total_cycles);
-    let _ = writeln!(s, "base_cycles={}", r.base_cycles);
-    let _ = writeln!(s, "translation_cycles={}", r.translation_cycles);
-    let _ = writeln!(s, "fault_cycles={}", r.fault_cycles);
-    let _ = writeln!(s, "alloc_cycles={}", r.alloc_cycles);
-    let _ = writeln!(s, "os_pt_cycles={}", r.os_pt_cycles);
-    let _ = writeln!(s, "faults={}", r.faults);
-    let _ = writeln!(s, "pages_4k={}", r.pages_4k);
-    let _ = writeln!(s, "pages_2m={}", r.pages_2m);
-    let _ = writeln!(s, "tlb_miss_rate={}", r.tlb_miss_rate);
-    let _ = writeln!(s, "walks={}", r.walks);
-    let _ = writeln!(s, "mean_walk_accesses={}", r.mean_walk_accesses);
-    let _ = writeln!(s, "mean_walk_cycles={}", r.mean_walk_cycles);
-    let _ = writeln!(s, "pt_final_bytes={}", r.pt_final_bytes);
-    let _ = writeln!(s, "pt_peak_bytes={}", r.pt_peak_bytes);
-    let _ = writeln!(s, "pt_max_contiguous={}", r.pt_max_contiguous);
-    let _ = writeln!(s, "way_sizes_4k={}", join(&r.way_sizes_4k));
-    let _ = writeln!(s, "way_phys_4k={}", join(&r.way_phys_4k));
-    let _ = writeln!(s, "upsizes_per_way_4k={}", join(&r.upsizes_per_way_4k));
-    let _ = writeln!(s, "upsizes_per_way_2m={}", join(&r.upsizes_per_way_2m));
-    let _ = writeln!(s, "moved_fraction_4k={}", r.moved_fraction_4k);
-    let _ = writeln!(s, "kicks_histogram={}", join(&r.kicks_histogram));
-    let _ = writeln!(s, "l2p_entries_used={}", r.l2p_entries_used);
-    let _ = writeln!(s, "chunk_switches={}", r.chunk_switches);
-    let _ = writeln!(s, "data_bytes_nominal={}", r.data_bytes_nominal);
-    let _ = writeln!(s, "aborted={}", r.aborted.clone().unwrap_or_default());
-    s
-}
-
-fn decode(text: &str) -> Option<SimReport> {
-    let map: HashMap<&str, &str> = text.lines().filter_map(|l| l.split_once('=')).collect();
-    let get = |k: &str| map.get(k).copied();
-    let num = |k: &str| get(k)?.parse::<u64>().ok();
-    let fnum = |k: &str| get(k)?.parse::<f64>().ok();
-    let vec = |k: &str| -> Option<Vec<u64>> {
-        let v = get(k)?;
-        if v.is_empty() {
-            return Some(Vec::new());
-        }
-        v.split(',').map(|x| x.parse().ok()).collect()
-    };
-    let kind = match get("kind")? {
-        "Radix" => PtKind::Radix,
-        "Ecpt" => PtKind::Ecpt,
-        "MeHpt" => PtKind::MeHpt,
-        _ => return None,
-    };
-    let aborted = match get("aborted")? {
-        "" => None,
-        msg => Some(msg.to_string()),
-    };
-    Some(SimReport {
-        app: get("app")?.to_string(),
-        kind,
-        thp: get("thp")? == "true",
-        accesses: num("accesses")?,
-        total_cycles: num("total_cycles")?,
-        base_cycles: num("base_cycles")?,
-        translation_cycles: num("translation_cycles")?,
-        fault_cycles: num("fault_cycles")?,
-        alloc_cycles: num("alloc_cycles")?,
-        os_pt_cycles: num("os_pt_cycles")?,
-        faults: num("faults")?,
-        pages_4k: num("pages_4k")?,
-        pages_2m: num("pages_2m")?,
-        tlb_miss_rate: fnum("tlb_miss_rate")?,
-        walks: num("walks")?,
-        mean_walk_accesses: fnum("mean_walk_accesses")?,
-        mean_walk_cycles: fnum("mean_walk_cycles")?,
-        pt_final_bytes: num("pt_final_bytes")?,
-        pt_peak_bytes: num("pt_peak_bytes")?,
-        pt_max_contiguous: num("pt_max_contiguous")?,
-        way_sizes_4k: vec("way_sizes_4k")?,
-        way_phys_4k: vec("way_phys_4k")?,
-        upsizes_per_way_4k: vec("upsizes_per_way_4k")?,
-        upsizes_per_way_2m: vec("upsizes_per_way_2m")?,
-        moved_fraction_4k: fnum("moved_fraction_4k")?,
-        kicks_histogram: vec("kicks_histogram")?,
-        l2p_entries_used: num("l2p_entries_used")? as usize,
-        chunk_switches: num("chunk_switches")?,
-        data_bytes_nominal: num("data_bytes_nominal")?,
-        aborted,
-    })
-}
-
-// ---- output helpers ----
 
 /// Prints the banner for one experiment.
 pub fn announce(title: &str, paper_ref: &str) {
@@ -279,25 +104,6 @@ pub fn announce(title: &str, paper_ref: &str) {
     println!("================================================================");
 }
 
-/// Geometric mean of positive values.
-pub fn geomean(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        return 0.0;
-    }
-    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
-    (log_sum / values.len() as f64).exp()
-}
-
-/// Formats bytes the way the paper's tables do (KB/MB/GB).
-pub fn fmt_bytes(bytes: u64) -> String {
-    mehpt_types::ByteSize(bytes).to_string()
-}
-
-/// Formats a byte count in MB with one decimal (Table I style).
-pub fn fmt_mb(bytes: u64) -> String {
-    format!("{:.1}", bytes as f64 / (1 << 20) as f64)
-}
-
 /// All eleven apps in the paper's order.
 pub fn apps() -> [App; 11] {
     App::all()
@@ -306,33 +112,23 @@ pub fn apps() -> [App; 11] {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mehpt_sim::PtKind;
 
     #[test]
-    fn codec_round_trips() {
-        let key = RunKey::paper(App::Mummer, PtKind::MeHpt, false);
-        std::env::set_var("MEHPT_SCALE", "0.002");
-        std::env::set_var(
-            "MEHPT_RESULTS",
-            std::env::temp_dir().join("mehpt-test-cache"),
-        );
-        let first = run(&key);
-        let again = run(&key); // must come from cache
-        assert_eq!(first.total_cycles, again.total_cycles);
-        assert_eq!(first.way_sizes_4k, again.way_sizes_4k);
-        assert_eq!(first.kicks_histogram, again.kicks_histogram);
+    fn ad_hoc_grids_run_on_the_lab_engine() {
+        let grid = ExperimentGrid::paper(vec![App::Mummer], vec![PtKind::MeHpt], vec![false]);
+        let t = Tuning {
+            scale: 0.002,
+            ..Tuning::quick()
+        };
+        let specs = grid.expand(&t);
+        let cells = run_cells(&specs, &RunOptions { jobs: 1 }, &|_| {});
+        assert_eq!(cells.len(), 1);
+        assert!(cells[0].metrics.is_some());
     }
 
     #[test]
     fn geomean_matches_hand_computation() {
         assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
-        assert_eq!(geomean(&[]), 0.0);
-    }
-
-    #[test]
-    fn variants_toggle_the_right_switches() {
-        assert!(!Variant::NoInPlace.config().in_place);
-        assert!(Variant::NoInPlace.config().per_way);
-        assert!(!Variant::Neither.config().per_way);
-        assert_eq!(Variant::Fixed1Mb.config().chunk_policy.first(), 1 << 20);
     }
 }

@@ -7,8 +7,8 @@ use std::collections::HashMap;
 
 use mehpt_core::{ChunkSizePolicy, MeHpt, MeHptConfig};
 use mehpt_mem::{AllocCostModel, PhysMem};
+use mehpt_types::proptest_lite::{check, Gen};
 use mehpt_types::{PageSize, Ppn, Vpn, GIB, KIB};
-use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -17,12 +17,12 @@ enum Op {
     Translate(u32),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (any::<u32>(), any::<u32>()).prop_map(|(k, v)| Op::Map(k % 50_000, v)),
-        1 => any::<u32>().prop_map(|k| Op::Unmap(k % 50_000)),
-        1 => any::<u32>().prop_map(|k| Op::Translate(k % 50_000)),
-    ]
+fn gen_ops(g: &mut Gen, max_len: usize) -> Vec<Op> {
+    g.vec_of(max_len, |g| match g.weighted(&[4, 1, 1]) {
+        0 => Op::Map(g.u32() % 50_000, g.u32()),
+        1 => Op::Unmap(g.u32() % 50_000),
+        _ => Op::Translate(g.u32() % 50_000),
+    })
 }
 
 fn run_model(cfg: MeHptConfig, ops: &[Op]) {
@@ -57,11 +57,10 @@ fn run_model(cfg: MeHptConfig, ops: &[Op]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn full_design_matches_hashmap(ops in proptest::collection::vec(op_strategy(), 0..1200)) {
+#[test]
+fn full_design_matches_hashmap() {
+    check("full_design_matches_hashmap", 24, |g| {
+        let ops = gen_ops(g, 1200);
         // Tiny initial size and tiny L2P subtables so chunk switches and
         // stealing trigger even with modest inputs.
         run_model(
@@ -73,12 +72,13 @@ proptest! {
             },
             &ops,
         );
-    }
+    });
+}
 
-    #[test]
-    fn ablation_out_of_place_matches_hashmap(
-        ops in proptest::collection::vec(op_strategy(), 0..1000)
-    ) {
+#[test]
+fn ablation_out_of_place_matches_hashmap() {
+    check("ablation_out_of_place_matches_hashmap", 24, |g| {
+        let ops = gen_ops(g, 1000);
         run_model(
             MeHptConfig {
                 in_place: false,
@@ -88,12 +88,13 @@ proptest! {
             },
             &ops,
         );
-    }
+    });
+}
 
-    #[test]
-    fn ablation_all_way_matches_hashmap(
-        ops in proptest::collection::vec(op_strategy(), 0..1000)
-    ) {
+#[test]
+fn ablation_all_way_matches_hashmap() {
+    check("ablation_all_way_matches_hashmap", 24, |g| {
+        let ops = gen_ops(g, 1000);
         run_model(
             MeHptConfig {
                 per_way: false,
@@ -103,18 +104,20 @@ proptest! {
             },
             &ops,
         );
-    }
+    });
+}
 
-    #[test]
-    fn way_balance_holds_under_any_workload(
-        ops in proptest::collection::vec(op_strategy(), 0..1500)
-    ) {
+#[test]
+fn way_balance_holds_under_any_workload() {
+    check("way_balance_holds_under_any_workload", 24, |g| {
+        let ops = gen_ops(g, 1500);
         let mut mem = PhysMem::with_cost_model(GIB, AllocCostModel::zero_cost());
         let mut hpt = MeHpt::new(&mut mem).unwrap();
         for op in &ops {
             match *op {
                 Op::Map(k, v) => {
-                    hpt.map(Vpn(k as u64), PageSize::Base4K, Ppn(v as u64), &mut mem).unwrap();
+                    hpt.map(Vpn(k as u64), PageSize::Base4K, Ppn(v as u64), &mut mem)
+                        .unwrap();
                 }
                 Op::Unmap(k) => {
                     hpt.unmap(Vpn(k as u64), PageSize::Base4K, &mut mem);
@@ -125,8 +128,8 @@ proptest! {
                 let sizes = t.way_sizes();
                 let min = *sizes.iter().min().unwrap();
                 let max = *sizes.iter().max().unwrap();
-                prop_assert!(max <= 2 * min, "imbalanced ways: {:?}", sizes);
+                assert!(max <= 2 * min, "imbalanced ways: {sizes:?}");
             }
         }
-    }
+    });
 }

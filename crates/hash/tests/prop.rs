@@ -5,7 +5,7 @@
 use std::collections::HashMap;
 
 use mehpt_hash::{Config, ElasticCuckooTable, LevelHashTable, ResizeMode, WaySizing};
-use proptest::prelude::*;
+use mehpt_types::proptest_lite::{check, Gen};
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -14,20 +14,24 @@ enum Op {
     Get(u16),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
-        1 => any::<u16>().prop_map(Op::Remove),
-        1 => any::<u16>().prop_map(Op::Get),
-    ]
+fn gen_op(g: &mut Gen) -> Op {
+    match g.weighted(&[3, 1, 1]) {
+        0 => Op::Insert(g.u16(), g.u32()),
+        1 => Op::Remove(g.u16()),
+        _ => Op::Get(g.u16()),
+    }
+}
+
+fn gen_ops(g: &mut Gen, max_len: usize) -> Vec<Op> {
+    g.vec_of(max_len, gen_op)
 }
 
 fn config(mode: ResizeMode, sizing: WaySizing) -> Config {
     Config {
         resize_mode: mode,
         sizing,
-        // Small initial table so resizes happen constantly under proptest's
-        // modest input sizes.
+        // Small initial table so resizes happen constantly under the
+        // harness's modest input sizes.
         initial_entries_per_way: 8,
         ..Config::default()
     }
@@ -62,73 +66,92 @@ fn check_against_model(cfg: Config, ops: Vec<Op>) {
     assert_eq!(table_entries, model_entries);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn oop_allway_matches_hashmap(ops in proptest::collection::vec(op_strategy(), 0..800)) {
+#[test]
+fn oop_allway_matches_hashmap() {
+    check("oop_allway_matches_hashmap", 64, |g| {
+        let ops = gen_ops(g, 800);
         check_against_model(config(ResizeMode::OutOfPlace, WaySizing::AllWay), ops);
-    }
+    });
+}
 
-    #[test]
-    fn inplace_allway_matches_hashmap(ops in proptest::collection::vec(op_strategy(), 0..800)) {
+#[test]
+fn inplace_allway_matches_hashmap() {
+    check("inplace_allway_matches_hashmap", 64, |g| {
+        let ops = gen_ops(g, 800);
         check_against_model(config(ResizeMode::InPlace, WaySizing::AllWay), ops);
-    }
+    });
+}
 
-    #[test]
-    fn oop_perway_matches_hashmap(ops in proptest::collection::vec(op_strategy(), 0..800)) {
+#[test]
+fn oop_perway_matches_hashmap() {
+    check("oop_perway_matches_hashmap", 64, |g| {
+        let ops = gen_ops(g, 800);
         check_against_model(config(ResizeMode::OutOfPlace, WaySizing::PerWay), ops);
-    }
+    });
+}
 
-    #[test]
-    fn inplace_perway_matches_hashmap(ops in proptest::collection::vec(op_strategy(), 0..800)) {
+#[test]
+fn inplace_perway_matches_hashmap() {
+    check("inplace_perway_matches_hashmap", 64, |g| {
+        let ops = gen_ops(g, 800);
         check_against_model(config(ResizeMode::InPlace, WaySizing::PerWay), ops);
-    }
+    });
+}
 
-    #[test]
-    fn level_hash_matches_hashmap(ops in proptest::collection::vec(op_strategy(), 0..800)) {
+#[test]
+fn level_hash_matches_hashmap() {
+    check("level_hash_matches_hashmap", 64, |g| {
+        let ops = gen_ops(g, 800);
         let mut table = LevelHashTable::new(4, 99);
         let mut model: HashMap<u16, u32> = HashMap::new();
         for op in ops {
             match op {
                 Op::Insert(k, v) => {
-                    prop_assert_eq!(table.insert(k, v), model.insert(k, v));
+                    assert_eq!(table.insert(k, v), model.insert(k, v));
                 }
                 Op::Remove(k) => {
-                    prop_assert_eq!(table.remove(&k), model.remove(&k));
+                    assert_eq!(table.remove(&k), model.remove(&k));
                 }
                 Op::Get(k) => {
-                    prop_assert_eq!(table.get(&k), model.get(&k));
+                    assert_eq!(table.get(&k), model.get(&k));
                 }
             }
-            prop_assert_eq!(table.len(), model.len());
+            assert_eq!(table.len(), model.len());
         }
-    }
+    });
+}
 
-    #[test]
-    fn way_balance_invariant_holds_under_any_workload(
-        ops in proptest::collection::vec(op_strategy(), 0..1500)
-    ) {
+#[test]
+fn way_balance_invariant_holds_under_any_workload() {
+    check("way_balance_invariant_holds_under_any_workload", 64, |g| {
         // Section IV-D: "a way will never be more than double (or less than
         // half) the size of another way."
+        let ops = gen_ops(g, 1500);
         let mut table = ElasticCuckooTable::new(config(ResizeMode::InPlace, WaySizing::PerWay));
         for op in ops {
             match op {
-                Op::Insert(k, v) => { table.insert(k, v); }
-                Op::Remove(k) => { table.remove(&k); }
-                Op::Get(k) => { table.get(&k); }
+                Op::Insert(k, v) => {
+                    table.insert(k, v);
+                }
+                Op::Remove(k) => {
+                    table.remove(&k);
+                }
+                Op::Get(k) => {
+                    table.get(&k);
+                }
             }
             let caps = table.way_capacities();
             let min = *caps.iter().min().unwrap();
             let max = *caps.iter().max().unwrap();
-            prop_assert!(max <= 2 * min, "imbalanced ways: {:?}", caps);
+            assert!(max <= 2 * min, "imbalanced ways: {caps:?}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn load_factor_bounded_under_any_workload(
-        ops in proptest::collection::vec(op_strategy(), 0..1500)
-    ) {
+#[test]
+fn load_factor_bounded_under_any_workload() {
+    check("load_factor_bounded_under_any_workload", 64, |g| {
+        let ops = gen_ops(g, 1500);
         for cfg in [
             config(ResizeMode::OutOfPlace, WaySizing::AllWay),
             config(ResizeMode::InPlace, WaySizing::PerWay),
@@ -136,13 +159,22 @@ proptest! {
             let mut table = ElasticCuckooTable::new(cfg);
             for op in &ops {
                 match op {
-                    Op::Insert(k, v) => { table.insert(*k, *v); }
-                    Op::Remove(k) => { table.remove(k); }
-                    Op::Get(k) => { table.get(k); }
+                    Op::Insert(k, v) => {
+                        table.insert(*k, *v);
+                    }
+                    Op::Remove(k) => {
+                        table.remove(k);
+                    }
+                    Op::Get(k) => {
+                        table.get(k);
+                    }
                 }
-                prop_assert!(table.load_factor() <= 0.85,
-                    "load factor {}", table.load_factor());
+                assert!(
+                    table.load_factor() <= 0.85,
+                    "load factor {}",
+                    table.load_factor()
+                );
             }
         }
-    }
+    });
 }

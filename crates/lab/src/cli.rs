@@ -1,0 +1,368 @@
+//! The `mehpt-lab` command-line driver.
+//!
+//! Kept in the library (rather than the binary) so argument parsing and the
+//! preset-union plumbing are unit-testable. The binary is a two-line shim.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use mehpt_sim::SimReport;
+use mehpt_workloads::App;
+
+use crate::engine::{self, Progress, RunOptions, WORKER_THREAD_PREFIX};
+use crate::grid::{CellSpec, Tuning};
+use crate::presets::{Preset, PRESETS};
+use crate::report::{CellStatus, LabReport};
+
+/// Usage text.
+pub const USAGE: &str = "\
+mehpt-lab — parallel, deterministic experiment runner for the ME-HPT model
+
+USAGE:
+    mehpt-lab <preset>... [OPTIONS]
+    mehpt-lab all [OPTIONS]      run every preset (shared cells run once)
+    mehpt-lab list               list presets and their cell counts
+
+PRESETS:
+    table1 table2 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16
+
+OPTIONS:
+    --jobs N           worker threads (default: available parallelism;
+                       results are identical for every N)
+    --quick            tiny footprints for smoke runs (scale 0.005, 2GB)
+    --scale X          workload scale factor (default 1.0)
+    --mem-gb N         simulated physical memory in GB (default 64)
+    --frag F           memory fragmentation (FMFI), 0.0-1.0 (default 0.7)
+    --seed S           base seed (decimal or 0x hex; default 0x5eed)
+    --max-accesses N   cap simulated accesses per cell
+    --out DIR          report directory (default target/lab)
+    --inject-panic APP panic inside APP's cells (tests panic isolation)
+    -h, --help         this text
+
+Reports land in <out>/<preset>/report.{json,csv}. JSON and CSV are pure
+functions of the cell grid and seeds: --jobs 1 and --jobs 8 emit
+byte-identical files. Exit status: 0 on success (aborted cells are modeled
+outcomes and count as success), 1 if any cell failed, 2 on usage errors.
+";
+
+/// Parsed command line.
+#[derive(Clone, Debug)]
+pub struct LabArgs {
+    /// Presets to run, in order.
+    pub presets: Vec<Preset>,
+    /// `list` mode.
+    pub list: bool,
+    /// Worker threads (0 = available parallelism).
+    pub jobs: usize,
+    /// Scale/memory/seed knobs.
+    pub tuning: Tuning,
+    /// Fragmentation override (`--frag`).
+    pub frag: Option<f64>,
+    /// Report directory.
+    pub out: PathBuf,
+    /// App whose cells should panic (panic-isolation demo/testing).
+    pub inject_panic: Option<App>,
+}
+
+impl Default for LabArgs {
+    fn default() -> LabArgs {
+        LabArgs {
+            presets: Vec::new(),
+            list: false,
+            jobs: 0,
+            tuning: Tuning::default(),
+            frag: None,
+            out: PathBuf::from("target/lab"),
+            inject_panic: None,
+        }
+    }
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let r = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    r.map_err(|_| format!("not a number: {s}"))
+}
+
+/// Parses the argument list (without the program name).
+pub fn parse_args(args: &[String]) -> Result<LabArgs, String> {
+    let mut out = LabArgs::default();
+    let mut scale = None;
+    let mut mem_gb = None;
+    let mut quick = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => return Err(String::new()),
+            "list" => out.list = true,
+            "all" => out.presets = PRESETS.to_vec(),
+            "--jobs" => out.jobs = parse_u64(value("--jobs")?)? as usize,
+            "--quick" => quick = true,
+            "--scale" => {
+                scale = Some(
+                    value("--scale")?
+                        .parse::<f64>()
+                        .map_err(|_| "bad --scale".to_string())?,
+                )
+            }
+            "--mem-gb" => mem_gb = Some(parse_u64(value("--mem-gb")?)?),
+            "--frag" => {
+                let f = value("--frag")?
+                    .parse::<f64>()
+                    .map_err(|_| "bad --frag".to_string())?;
+                if !(0.0..=1.0).contains(&f) {
+                    return Err("--frag must be in 0.0..=1.0".to_string());
+                }
+                out.frag = Some(f);
+            }
+            "--seed" => out.tuning.base_seed = parse_u64(value("--seed")?)?,
+            "--max-accesses" => {
+                out.tuning.max_accesses = Some(parse_u64(value("--max-accesses")?)?)
+            }
+            "--out" => out.out = PathBuf::from(value("--out")?),
+            "--inject-panic" => {
+                let name = value("--inject-panic")?;
+                out.inject_panic = Some(
+                    App::all()
+                        .into_iter()
+                        .find(|a| a.name().eq_ignore_ascii_case(name))
+                        .ok_or_else(|| format!("unknown app: {name}"))?,
+                );
+            }
+            name => match Preset::parse(name) {
+                Some(p) => {
+                    if !out.presets.contains(&p) {
+                        out.presets.push(p);
+                    }
+                }
+                None => return Err(format!("unknown argument: {name}")),
+            },
+        }
+    }
+    if quick {
+        out.tuning.scale = Tuning::quick().scale;
+        out.tuning.mem_bytes = Tuning::quick().mem_bytes;
+    }
+    if let Some(s) = scale {
+        out.tuning.scale = s;
+    }
+    if let Some(gb) = mem_gb {
+        out.tuning.mem_bytes = gb * mehpt_types::GIB;
+    }
+    if !out.list && out.presets.is_empty() {
+        return Err("no preset given (try `mehpt-lab list`)".to_string());
+    }
+    Ok(out)
+}
+
+/// The distinct cells of a preset under the CLI's tuning/fragmentation.
+fn preset_specs(preset: Preset, args: &LabArgs) -> Vec<CellSpec> {
+    let mut grid = preset.grid();
+    if let Some(f) = args.frag {
+        grid.fragmentations = vec![f];
+    }
+    grid.expand(&args.tuning)
+}
+
+/// Union of every requested preset's cells, deduplicated by identity and in
+/// first-appearance order — shared cells (fig11–fig14 use the same grid)
+/// simulate once and feed every report that needs them.
+pub fn union_specs(args: &LabArgs) -> Vec<CellSpec> {
+    let mut seen = std::collections::HashSet::new();
+    let mut union = Vec::new();
+    for &preset in &args.presets {
+        for spec in preset_specs(preset, args) {
+            if seen.insert(spec.id()) {
+                union.push(spec);
+            }
+        }
+    }
+    union
+}
+
+/// Runs the parsed command. Returns the process exit code.
+pub fn run(args: &LabArgs) -> i32 {
+    if args.list {
+        println!("{:<8} {:>6}  {}", "PRESET", "CELLS", "TITLE");
+        for p in PRESETS {
+            let cells = preset_specs(p, args).len();
+            println!("{:<8} {:>6}  {}", p.name(), cells, p.title());
+        }
+        return 0;
+    }
+
+    mute_worker_panics();
+    let union = union_specs(args);
+    eprintln!(
+        "mehpt-lab: {} cell(s) across {} preset(s), scale {}, seed {:#x}",
+        union.len(),
+        args.presets.len(),
+        args.tuning.scale,
+        args.tuning.base_seed
+    );
+
+    let opts = RunOptions { jobs: args.jobs };
+    let progress = |p: Progress| {
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(
+            err,
+            "[{:>3}/{}] {:>7}  {}  ({} ms)",
+            p.done,
+            p.total,
+            p.status.label(),
+            p.id,
+            p.wall_millis
+        );
+    };
+    let results = match args.inject_panic {
+        None => engine::run_cells(&union, &opts, &progress),
+        Some(app) => engine::run_cells_with(
+            &union,
+            &opts,
+            move |spec: &CellSpec| -> SimReport {
+                if spec.app == app {
+                    panic!("injected panic in cell {}", spec.id());
+                }
+                engine::simulate_cell(spec)
+            },
+            &progress,
+        ),
+    };
+
+    // Index the union's results by identity, then slice a report out for
+    // each preset in its own grid order.
+    let by_id: std::collections::HashMap<String, &crate::report::CellResult> =
+        results.iter().map(|r| (r.spec.id(), r)).collect();
+    let mut any_failed = false;
+    for &preset in &args.presets {
+        let cells = preset_specs(preset, args)
+            .iter()
+            .filter_map(|s| by_id.get(&s.id()).map(|&r| r.clone()))
+            .collect::<Vec<_>>();
+        let report = LabReport {
+            preset: preset.name().to_string(),
+            scale: args.tuning.scale,
+            base_seed: args.tuning.base_seed,
+            cells,
+        };
+        any_failed |= report.counts().2 > 0;
+        print!("{}", preset.render(&report));
+        if let Err(e) = write_reports(preset, &report, args) {
+            eprintln!("mehpt-lab: cannot write reports: {e}");
+            return 1;
+        }
+    }
+
+    let (ok, aborted, failed) = summarize(&results);
+    eprintln!(
+        "mehpt-lab: {ok} ok, {aborted} aborted, {failed} failed; reports under {}",
+        args.out.display()
+    );
+    i32::from(any_failed)
+}
+
+fn summarize(results: &[crate::report::CellResult]) -> (usize, usize, usize) {
+    let mut c = (0, 0, 0);
+    for r in results {
+        match r.status {
+            CellStatus::Ok => c.0 += 1,
+            CellStatus::Aborted => c.1 += 1,
+            CellStatus::Failed => c.2 += 1,
+        }
+    }
+    c
+}
+
+fn write_reports(preset: Preset, report: &LabReport, args: &LabArgs) -> std::io::Result<()> {
+    let dir = args.out.join(preset.name());
+    std::fs::create_dir_all(&dir)?;
+    std::fs::write(dir.join("report.json"), report.to_json())?;
+    std::fs::write(dir.join("report.csv"), report.to_csv())?;
+    Ok(())
+}
+
+/// Silences the default "thread panicked" message for engine workers: a
+/// caught cell panic is reported through the progress stream and the report,
+/// not as scary stderr noise. Panics on other threads keep the default hook.
+pub fn mute_worker_panics() {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let muted = std::thread::current()
+            .name()
+            .is_some_and(|n| n.starts_with(WORKER_THREAD_PREFIX));
+        if !muted {
+            default(info);
+        }
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<LabArgs, String> {
+        parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_presets_and_flags() {
+        let a = parse(&[
+            "table1", "fig9", "--jobs", "4", "--quick", "--seed", "0xabc",
+        ])
+        .unwrap();
+        assert_eq!(a.presets, vec![Preset::Table1, Preset::Fig9]);
+        assert_eq!(a.jobs, 4);
+        assert_eq!(a.tuning.base_seed, 0xabc);
+        assert_eq!(a.tuning.scale, Tuning::quick().scale);
+    }
+
+    #[test]
+    fn explicit_scale_beats_quick() {
+        let a = parse(&["fig16", "--quick", "--scale", "0.5"]).unwrap();
+        assert_eq!(a.tuning.scale, 0.5);
+        assert_eq!(a.tuning.mem_bytes, Tuning::quick().mem_bytes);
+    }
+
+    #[test]
+    fn all_selects_every_preset() {
+        let a = parse(&["all"]).unwrap();
+        assert_eq!(a.presets.len(), PRESETS.len());
+    }
+
+    #[test]
+    fn rejects_unknowns_and_empty() {
+        assert!(parse(&["fig99"]).is_err());
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["table1", "--frag", "1.5"]).is_err());
+        assert!(parse(&["--inject-panic", "nosuch", "table1"]).is_err());
+    }
+
+    #[test]
+    fn inject_panic_parses_an_app() {
+        let a = parse(&["table1", "--inject-panic", "gups"]).unwrap();
+        assert_eq!(a.inject_panic, Some(App::Gups));
+    }
+
+    #[test]
+    fn union_dedups_shared_cells() {
+        let mut a = parse(&["fig11", "fig12", "fig13", "fig14"]).unwrap();
+        a.tuning = Tuning::quick();
+        let union = union_specs(&a);
+        // fig11–fig14 share one grid: 11 apps × 2 thp, simulated once.
+        assert_eq!(union.len(), 22);
+    }
+
+    #[test]
+    fn union_keeps_distinct_cells() {
+        let mut a = parse(&["table1", "fig8"]).unwrap();
+        a.tuning = Tuning::quick();
+        // table1: radix+ecpt (44); fig8 adds mehpt cells (22) and shares ecpt.
+        assert_eq!(union_specs(&a).len(), 66);
+    }
+}

@@ -1,0 +1,322 @@
+//! The parallel cell-execution engine.
+//!
+//! Cells are fully self-contained (each builds its own physical memory,
+//! TLBs and workload from its [`CellSpec`]), so the engine can hand them to
+//! any number of worker threads and still produce the *same* results: the
+//! output vector is ordered by cell index, every cell's randomness derives
+//! from its identity, and wall-clock time never enters the serialized
+//! report. Workers claim cells off a shared counter (work stealing in its
+//! simplest form: an idle worker takes the next unclaimed cell, so long
+//! cells never serialize the queue behind them), and every cell body runs
+//! under [`std::panic::catch_unwind`] — a panicking simulation marks that
+//! one cell [`CellStatus::Failed`] instead of killing the sweep.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+use mehpt_sim::{SimReport, Simulator};
+
+use crate::grid::CellSpec;
+use crate::report::{CellMetrics, CellResult, CellStatus};
+
+/// Name prefix of the engine's worker threads. The CLI's panic hook uses
+/// it to mute the default "thread panicked" noise for isolated cells.
+pub const WORKER_THREAD_PREFIX: &str = "mehpt-lab-worker";
+
+/// A progress event, streamed to the caller as cells complete.
+///
+/// Events arrive in *completion* order, which depends on scheduling; only
+/// the human-facing progress stream sees them, never the report.
+#[derive(Clone, Debug)]
+pub struct Progress {
+    /// Cells finished so far (including this one).
+    pub done: usize,
+    /// Total cells in the sweep.
+    pub total: usize,
+    /// The finished cell's identity.
+    pub id: String,
+    /// The finished cell's status.
+    pub status: CellStatus,
+    /// Wall-clock milliseconds the cell took.
+    pub wall_millis: u64,
+}
+
+/// Engine options.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOptions {
+    /// Worker threads. `0` means [`std::thread::available_parallelism`].
+    pub jobs: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions { jobs: 0 }
+    }
+}
+
+impl RunOptions {
+    fn effective_jobs(&self, cells: usize) -> usize {
+        let jobs = if self.jobs == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.jobs
+        };
+        jobs.clamp(1, cells.max(1))
+    }
+}
+
+/// Runs one cell on the real simulator.
+pub fn simulate_cell(spec: &CellSpec) -> SimReport {
+    Simulator::run(spec.workload(), spec.sim_config())
+}
+
+/// Runs every cell on a pool of `opts.jobs` workers using the real
+/// simulator. See [`run_cells_with`].
+pub fn run_cells(
+    specs: &[CellSpec],
+    opts: &RunOptions,
+    progress: &(dyn Fn(Progress) + Sync),
+) -> Vec<CellResult> {
+    run_cells_with(specs, opts, simulate_cell, progress)
+}
+
+/// Runs every cell on a pool of `opts.jobs` workers with a caller-supplied
+/// cell body, and returns results in spec order.
+///
+/// The body runs under `catch_unwind`: a panic fails that cell (status
+/// [`CellStatus::Failed`], the panic message as `error`) and the sweep
+/// continues. A completed simulation whose report says `aborted` maps to
+/// [`CellStatus::Aborted`] with metrics preserved — that is a *modeled*
+/// outcome (the paper's ECPT runs dying above 0.7 FMFI), not a harness
+/// failure.
+pub fn run_cells_with<F>(
+    specs: &[CellSpec],
+    opts: &RunOptions,
+    runner: F,
+    progress: &(dyn Fn(Progress) + Sync),
+) -> Vec<CellResult>
+where
+    F: Fn(&CellSpec) -> SimReport + Sync,
+{
+    let jobs = opts.effective_jobs(specs.len());
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, CellResult)>();
+    let runner = &runner;
+    let next = &next;
+
+    let mut slots: Vec<Option<CellResult>> = (0..specs.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for worker in 0..jobs {
+            let tx = tx.clone();
+            std::thread::Builder::new()
+                .name(format!("{WORKER_THREAD_PREFIX}-{worker}"))
+                .spawn_scoped(scope, move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = specs.get(i) else { break };
+                    let result = execute(spec, runner);
+                    if tx.send((i, result)).is_err() {
+                        break;
+                    }
+                })
+                .expect("spawn lab worker");
+        }
+        drop(tx);
+        let total = specs.len();
+        let mut done = 0;
+        while let Ok((i, result)) = rx.recv() {
+            done += 1;
+            progress(Progress {
+                done,
+                total,
+                id: result.spec.id(),
+                status: result.status,
+                wall_millis: result.wall_millis,
+            });
+            slots[i] = Some(result);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every cell produces a result"))
+        .collect()
+}
+
+fn execute<F>(spec: &CellSpec, runner: &F) -> CellResult
+where
+    F: Fn(&CellSpec) -> SimReport + Sync,
+{
+    let start = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| runner(spec)));
+    let wall_millis = start.elapsed().as_millis() as u64;
+    match outcome {
+        Ok(report) => {
+            let status = if report.aborted.is_some() {
+                CellStatus::Aborted
+            } else {
+                CellStatus::Ok
+            };
+            CellResult {
+                spec: spec.clone(),
+                status,
+                error: report.aborted.clone(),
+                metrics: Some(CellMetrics::from(&report)),
+                wall_millis,
+            }
+        }
+        Err(panic) => CellResult {
+            spec: spec.clone(),
+            status: CellStatus::Failed,
+            error: Some(panic_message(panic.as_ref())),
+            metrics: None,
+            wall_millis,
+        },
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic (non-string payload)".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{ExperimentGrid, Tuning};
+    use mehpt_sim::PtKind;
+    use mehpt_types::rng::Xoshiro256;
+    use mehpt_workloads::App;
+
+    /// A cheap, deterministic stand-in for the simulator: metrics are a
+    /// pure function of the cell seed.
+    fn fake_sim(spec: &CellSpec) -> SimReport {
+        let mut rng = Xoshiro256::seed_from_u64(spec.seed);
+        let cycles = 1_000 + rng.next_below(1_000_000);
+        SimReport {
+            app: spec.app.name().to_string(),
+            kind: spec.kind,
+            thp: spec.thp,
+            accesses: 100 + rng.next_below(100),
+            total_cycles: cycles,
+            base_cycles: 0,
+            translation_cycles: 0,
+            fault_cycles: 0,
+            alloc_cycles: 0,
+            os_pt_cycles: 0,
+            faults: 0,
+            pages_4k: 0,
+            pages_2m: 0,
+            tlb_miss_rate: 0.0,
+            walks: 0,
+            mean_walk_accesses: 0.0,
+            mean_walk_cycles: 0.0,
+            pt_final_bytes: 0,
+            pt_peak_bytes: 0,
+            pt_max_contiguous: 0,
+            way_sizes_4k: vec![],
+            way_phys_4k: vec![],
+            upsizes_per_way_4k: vec![],
+            upsizes_per_way_2m: vec![],
+            moved_fraction_4k: 0.0,
+            kicks_histogram: vec![],
+            l2p_entries_used: 0,
+            chunk_switches: 0,
+            data_bytes_nominal: 0,
+            aborted: None,
+        }
+    }
+
+    fn specs() -> Vec<CellSpec> {
+        ExperimentGrid::paper(
+            App::all().to_vec(),
+            vec![PtKind::Radix, PtKind::Ecpt, PtKind::MeHpt],
+            vec![false, true],
+        )
+        .expand(&Tuning::quick())
+    }
+
+    #[test]
+    fn parallel_and_serial_runs_are_identical() {
+        let specs = specs();
+        let serial = run_cells_with(&specs, &RunOptions { jobs: 1 }, fake_sim, &|_| {});
+        let parallel = run_cells_with(&specs, &RunOptions { jobs: 8 }, fake_sim, &|_| {});
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.status, b.status);
+            assert_eq!(a.metrics, b.metrics);
+        }
+    }
+
+    #[test]
+    fn a_panicking_cell_fails_alone() {
+        let specs = specs();
+        let bomb = |spec: &CellSpec| -> SimReport {
+            if spec.app == App::Gups && spec.thp {
+                panic!("injected failure in {}", spec.id());
+            }
+            fake_sim(spec)
+        };
+        let results = run_cells_with(&specs, &RunOptions { jobs: 4 }, bomb, &|_| {});
+        let failed: Vec<_> = results
+            .iter()
+            .filter(|r| r.status == CellStatus::Failed)
+            .collect();
+        assert_eq!(failed.len(), 3, "gups×thp exists once per kind");
+        for f in &failed {
+            assert!(f.error.as_deref().unwrap().contains("injected failure"));
+            assert!(f.metrics.is_none());
+        }
+        let ok = results
+            .iter()
+            .filter(|r| r.status == CellStatus::Ok)
+            .count();
+        assert_eq!(ok, results.len() - 3, "every other cell completes");
+    }
+
+    #[test]
+    fn progress_reports_every_cell_exactly_once() {
+        use std::sync::Mutex;
+        let specs = specs();
+        let seen = Mutex::new(Vec::new());
+        run_cells_with(&specs, &RunOptions { jobs: 3 }, fake_sim, &|p| {
+            seen.lock().unwrap().push((p.done, p.id));
+        });
+        let mut seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), specs.len());
+        seen.sort();
+        assert_eq!(seen.last().unwrap().0, specs.len());
+        let mut ids: Vec<String> = seen.into_iter().map(|(_, id)| id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), specs.len());
+    }
+
+    #[test]
+    fn zero_jobs_means_available_parallelism() {
+        let opts = RunOptions { jobs: 0 };
+        assert!(opts.effective_jobs(1000) >= 1);
+        assert_eq!(opts.effective_jobs(0), 1);
+        assert_eq!(RunOptions { jobs: 64 }.effective_jobs(4), 4);
+    }
+
+    #[test]
+    fn one_real_simulation_cell_runs_end_to_end() {
+        let grid = ExperimentGrid::paper(vec![App::Mummer], vec![PtKind::MeHpt], vec![false]);
+        let mut tuning = Tuning::quick();
+        tuning.scale = 0.002;
+        let specs = grid.expand(&tuning);
+        let results = run_cells(&specs, &RunOptions { jobs: 1 }, &|_| {});
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].status, CellStatus::Ok);
+        let m = results[0].metrics.as_ref().unwrap();
+        assert!(m.accesses > 0);
+        assert!(m.total_cycles > m.accesses);
+    }
+}

@@ -1,0 +1,37 @@
+//! Shared formatting helpers for rendered experiment tables.
+
+/// Geometric mean of positive values (0.0 for an empty slice).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Formats bytes the way the paper's tables do (KB/MB/GB).
+pub fn fmt_bytes(bytes: u64) -> String {
+    mehpt_types::ByteSize(bytes).to_string()
+}
+
+/// Formats a byte count in MB with one decimal (Table I style).
+pub fn fmt_mb(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / (1 << 20) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mb_formatting() {
+        assert_eq!(fmt_mb(1 << 20), "1.0");
+        assert_eq!(fmt_mb(3 << 19), "1.5");
+    }
+}

@@ -1,0 +1,335 @@
+//! Declarative experiment grids and their expansion into runnable cells.
+
+use mehpt_core::{ChunkSizePolicy, MeHptConfig};
+use mehpt_sim::{PtKind, SimConfig};
+use mehpt_types::rng::splitmix64;
+use mehpt_types::GIB;
+use mehpt_workloads::{App, Workload, WorkloadCfg};
+
+/// An ME-HPT design variant for the ablation experiments (Figure 10,
+/// Figure 15, Section VII-D).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// The full design (both techniques on).
+    Full,
+    /// In-place resizing disabled (per-way only).
+    NoInPlace,
+    /// Per-way resizing disabled (in-place only).
+    NoPerWay,
+    /// Both disabled: chunked storage only.
+    Neither,
+    /// Single-size 1MB chunk ladder (Figure 15's `ME-HPT 1MB`).
+    Fixed1Mb,
+}
+
+impl Variant {
+    /// Short report/display tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Variant::Full => "full",
+            Variant::NoInPlace => "noinplace",
+            Variant::NoPerWay => "noperway",
+            Variant::Neither => "neither",
+            Variant::Fixed1Mb => "fixed1mb",
+        }
+    }
+
+    /// Parses a tag produced by [`Variant::tag`].
+    pub fn parse(tag: &str) -> Option<Variant> {
+        match tag {
+            "full" => Some(Variant::Full),
+            "noinplace" => Some(Variant::NoInPlace),
+            "noperway" => Some(Variant::NoPerWay),
+            "neither" => Some(Variant::Neither),
+            "fixed1mb" => Some(Variant::Fixed1Mb),
+            _ => None,
+        }
+    }
+
+    /// The ME-HPT configuration for this variant.
+    pub fn config(self) -> MeHptConfig {
+        let base = MeHptConfig::default();
+        match self {
+            Variant::Full => base,
+            Variant::NoInPlace => MeHptConfig {
+                in_place: false,
+                ..base
+            },
+            Variant::NoPerWay => MeHptConfig {
+                per_way: false,
+                ..base
+            },
+            Variant::Neither => MeHptConfig {
+                in_place: false,
+                per_way: false,
+                ..base
+            },
+            Variant::Fixed1Mb => MeHptConfig {
+                chunk_policy: ChunkSizePolicy::fixed(1 << 20),
+                ..base
+            },
+        }
+    }
+}
+
+/// Machine- and scale-level knobs applied uniformly to every cell of a
+/// grid (the CLI's `--scale`, `--mem-gb`, `--quick`, `--max-accesses`).
+#[derive(Clone, Copy, Debug)]
+pub struct Tuning {
+    /// Workload footprint/access scale (1.0 = the calibrated paper size).
+    pub scale: f64,
+    /// Simulated physical memory in bytes.
+    pub mem_bytes: u64,
+    /// Per-cell access cap; `None` runs each trace to completion.
+    pub max_accesses: Option<u64>,
+    /// Base seed every per-cell seed is derived from.
+    pub base_seed: u64,
+}
+
+impl Default for Tuning {
+    fn default() -> Tuning {
+        Tuning {
+            scale: 1.0,
+            mem_bytes: 64 * GIB,
+            max_accesses: None,
+            base_seed: 0x5eed,
+        }
+    }
+}
+
+impl Tuning {
+    /// A configuration for fast smoke runs (`--quick`): tiny footprints on
+    /// a 2GB machine. Figures keep their shape; absolute numbers shrink.
+    pub fn quick() -> Tuning {
+        Tuning {
+            scale: 0.005,
+            mem_bytes: 2 * GIB,
+            ..Tuning::default()
+        }
+    }
+}
+
+/// One fully specified experiment cell: everything needed to run one
+/// simulation, independently of every other cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellSpec {
+    /// Application under test.
+    pub app: App,
+    /// Page-table organization.
+    pub kind: PtKind,
+    /// THP on/off.
+    pub thp: bool,
+    /// ME-HPT variant (always [`Variant::Full`] for radix/ECPT).
+    pub variant: Variant,
+    /// Target fragmentation (FMFI at the 2MB order).
+    pub fragmentation: f64,
+    /// Graph node count (graph apps only; ignored by the others).
+    pub graph_nodes: u64,
+    /// Workload scale factor.
+    pub scale: f64,
+    /// Simulated physical memory in bytes.
+    pub mem_bytes: u64,
+    /// The cell's private seed, derived from the base seed and the cell
+    /// identity — *not* from the cell's position in the grid, so adding or
+    /// removing cells never changes any other cell's randomness.
+    pub seed: u64,
+    /// Per-cell access cap.
+    pub max_accesses: Option<u64>,
+}
+
+impl CellSpec {
+    /// Stable identity string: names the cell in reports, filenames and
+    /// progress lines, and feeds the per-cell seed derivation.
+    pub fn id(&self) -> String {
+        format!(
+            "{}-{}-{}-{}-n{}-f{:02}",
+            self.app.name(),
+            match self.kind {
+                PtKind::Radix => "radix",
+                PtKind::Ecpt => "ecpt",
+                PtKind::MeHpt => "mehpt",
+            },
+            if self.thp { "thp" } else { "nothp" },
+            self.variant.tag(),
+            self.graph_nodes,
+            (self.fragmentation * 100.0).round() as u64,
+        )
+    }
+
+    /// The simulator configuration this cell runs under.
+    pub fn sim_config(&self) -> SimConfig {
+        let mut cfg = SimConfig::paper(self.kind, self.thp);
+        cfg.mehpt = self.variant.config();
+        cfg.fragmentation = self.fragmentation;
+        cfg.mem_bytes = self.mem_bytes;
+        cfg.seed = self.seed;
+        cfg.max_accesses = self.max_accesses;
+        cfg
+    }
+
+    /// Builds the cell's workload (seeded from the cell seed, so the trace
+    /// stream is also a pure function of the cell identity).
+    pub fn workload(&self) -> Workload {
+        let mut s = self.seed ^ 0x776f_726b_6c6f_6164; // "workload"
+        self.app.build(&WorkloadCfg {
+            scale: self.scale,
+            seed: splitmix64(&mut s),
+            graph_nodes: self.graph_nodes,
+        })
+    }
+}
+
+/// Derives the deterministic seed of the cell named `id` under `base_seed`.
+///
+/// FNV-1a over the identity string, mixed through splitmix64. Identical for
+/// every thread count and every expansion order.
+pub fn cell_seed(base_seed: u64, id: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in id.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut s = h ^ base_seed;
+    splitmix64(&mut s)
+}
+
+/// A declarative experiment grid: the cross product of every axis the
+/// paper's evaluation sweeps. Axes with a single value pin that dimension.
+#[derive(Clone, Debug)]
+pub struct ExperimentGrid {
+    /// Applications to run.
+    pub apps: Vec<App>,
+    /// Page-table organizations.
+    pub kinds: Vec<PtKind>,
+    /// THP settings.
+    pub thps: Vec<bool>,
+    /// ME-HPT variants (applied to [`PtKind::MeHpt`] cells only; other
+    /// kinds always run a single cell per point).
+    pub variants: Vec<Variant>,
+    /// Fragmentation (FMFI) levels.
+    pub fragmentations: Vec<f64>,
+    /// Graph sizes (GraphBIG apps only; non-graph apps ignore the value
+    /// but still run once per entry, so keep this axis at one value unless
+    /// the grid is graph-only).
+    pub graph_nodes: Vec<u64>,
+}
+
+impl ExperimentGrid {
+    /// The paper's default single-point axes: 0.7 FMFI, 1M-node graphs.
+    pub fn paper(apps: Vec<App>, kinds: Vec<PtKind>, thps: Vec<bool>) -> ExperimentGrid {
+        ExperimentGrid {
+            apps,
+            kinds,
+            thps,
+            variants: vec![Variant::Full],
+            fragmentations: vec![0.7],
+            graph_nodes: vec![1_000_000],
+        }
+    }
+
+    /// Expands the grid into cells, deduplicated and in a deterministic
+    /// order (the nesting order of the axes; variants collapse to
+    /// [`Variant::Full`] for non-ME-HPT kinds).
+    pub fn expand(&self, tuning: &Tuning) -> Vec<CellSpec> {
+        let mut cells = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for &app in &self.apps {
+            for &graph_nodes in &self.graph_nodes {
+                for &kind in &self.kinds {
+                    let variants: &[Variant] = if kind == PtKind::MeHpt {
+                        &self.variants
+                    } else {
+                        &[Variant::Full]
+                    };
+                    for &variant in variants {
+                        for &thp in &self.thps {
+                            for &fragmentation in &self.fragmentations {
+                                let mut spec = CellSpec {
+                                    app,
+                                    kind,
+                                    thp,
+                                    variant,
+                                    fragmentation,
+                                    graph_nodes,
+                                    scale: tuning.scale,
+                                    mem_bytes: tuning.mem_bytes,
+                                    seed: 0,
+                                    max_accesses: tuning.max_accesses,
+                                };
+                                let id = spec.id();
+                                if seen.insert(id.clone()) {
+                                    spec.seed = cell_seed(tuning.base_seed, &id);
+                                    cells.push(spec);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_toggle_the_right_switches() {
+        assert!(!Variant::NoInPlace.config().in_place);
+        assert!(Variant::NoInPlace.config().per_way);
+        assert!(!Variant::Neither.config().per_way);
+        assert_eq!(Variant::Fixed1Mb.config().chunk_policy.first(), 1 << 20);
+        for v in [
+            Variant::Full,
+            Variant::NoInPlace,
+            Variant::NoPerWay,
+            Variant::Neither,
+            Variant::Fixed1Mb,
+        ] {
+            assert_eq!(Variant::parse(v.tag()), Some(v));
+        }
+    }
+
+    #[test]
+    fn expansion_is_deterministic_and_dedups_non_mehpt_variants() {
+        let mut grid = ExperimentGrid::paper(
+            vec![App::Gups, App::Bfs],
+            vec![PtKind::Ecpt, PtKind::MeHpt],
+            vec![false, true],
+        );
+        grid.variants = vec![Variant::Full, Variant::NoInPlace];
+        let t = Tuning::quick();
+        let a = grid.expand(&t);
+        let b = grid.expand(&t);
+        assert_eq!(a, b);
+        // ECPT gets 1 variant, ME-HPT 2: (1 + 2) kinds×variants × 2 apps × 2 thp.
+        assert_eq!(a.len(), 12);
+        let ids: std::collections::HashSet<String> = a.iter().map(|c| c.id()).collect();
+        assert_eq!(ids.len(), a.len(), "ids must be unique");
+    }
+
+    #[test]
+    fn cell_seed_is_position_independent() {
+        let grid =
+            ExperimentGrid::paper(vec![App::Gups, App::Bfs], vec![PtKind::MeHpt], vec![false]);
+        let solo = ExperimentGrid::paper(vec![App::Bfs], vec![PtKind::MeHpt], vec![false]);
+        let t = Tuning::quick();
+        let wide = grid.expand(&t);
+        let narrow = solo.expand(&t);
+        let bfs_wide = wide.iter().find(|c| c.app == App::Bfs).unwrap();
+        assert_eq!(bfs_wide.seed, narrow[0].seed);
+        assert_ne!(wide[0].seed, wide[1].seed);
+    }
+
+    #[test]
+    fn sim_config_carries_the_cell_knobs() {
+        let grid = ExperimentGrid::paper(vec![App::Mummer], vec![PtKind::MeHpt], vec![true]);
+        let cell = &grid.expand(&Tuning::quick())[0];
+        let cfg = cell.sim_config();
+        assert_eq!(cfg.mem_bytes, 2 * GIB);
+        assert!(cfg.thp);
+        assert_eq!(cfg.seed, cell.seed);
+    }
+}

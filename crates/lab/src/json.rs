@@ -1,0 +1,174 @@
+//! A minimal hand-rolled JSON value and writer.
+//!
+//! The workspace builds with no crates-io dependencies, so report
+//! serialization is done by this module instead of `serde_json`. Object
+//! keys keep insertion order and all formatting is deterministic, which is
+//! what lets `mehpt-lab --jobs 1` and `--jobs 8` emit byte-identical
+//! reports.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Objects preserve insertion order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (covers every counter in a report).
+    UInt(u64),
+    /// A float; non-finite values serialize as `null` (JSON has no NaN).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for an object literal.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// An array of unsigned integers.
+    pub fn uints(v: &[u64]) -> Json {
+        Json::Arr(v.iter().map(|&x| Json::UInt(x)).collect())
+    }
+
+    /// Serializes with 2-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Num(f) => {
+                if f.is_finite() {
+                    // Shortest round-trip representation; always mark the
+                    // value as a float so readers see a stable type.
+                    let s = format!("{f}");
+                    out.push_str(&s);
+                    if !s.contains('.') && !s.contains('e') {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let v = Json::obj(vec![
+            ("name", Json::Str("gups".into())),
+            ("n", Json::UInt(3)),
+            ("xs", Json::uints(&[1, 2])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let s = v.render();
+        assert!(s.starts_with("{\n"));
+        assert!(s.contains("\"name\": \"gups\""));
+        assert!(s.contains("\"empty\": []"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let mut out = String::new();
+        Json::Str("a\"b\\c\nd\u{1}".into()).write(&mut out, 0);
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn floats_are_finite_and_typed() {
+        assert_eq!(Json::Num(0.7).render(), "0.7\n");
+        assert_eq!(Json::Num(2.0).render(), "2.0\n");
+        assert_eq!(Json::Num(f64::NAN).render(), "null\n");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null\n");
+    }
+}

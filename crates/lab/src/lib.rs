@@ -1,0 +1,51 @@
+//! # mehpt-lab — parallel, deterministic experiment execution
+//!
+//! The lab turns the paper's evaluation (Tables I–II, Figures 8–16) into
+//! declarative experiment grids and runs them on a work-stealing thread
+//! pool with three guarantees:
+//!
+//! 1. **Determinism.** Every cell's randomness derives from its identity
+//!    string and the base seed, results are ordered by grid position, and
+//!    wall-clock time never enters a report — `--jobs 1` and `--jobs 8`
+//!    write byte-identical JSON and CSV.
+//! 2. **Panic isolation.** Each cell runs under `catch_unwind`; one
+//!    crashing simulation marks that cell `failed` in the report while the
+//!    rest of the sweep completes.
+//! 3. **Structured output.** Per-cell progress streams to stderr; rendered
+//!    paper tables go to stdout; machine-readable `report.json` and
+//!    `report.csv` land under `target/lab/<preset>/`.
+//!
+//! Everything is std-only: the workspace builds with no crates-io
+//! dependencies (JSON is hand-rolled in [`json`]).
+//!
+//! ```no_run
+//! use mehpt_lab::engine::{run_cells, RunOptions};
+//! use mehpt_lab::grid::Tuning;
+//! use mehpt_lab::presets::Preset;
+//! use mehpt_lab::report::LabReport;
+//!
+//! let specs = Preset::Fig16.grid().expand(&Tuning::quick());
+//! let cells = run_cells(&specs, &RunOptions::default(), &|p| {
+//!     eprintln!("[{}/{}] {}", p.done, p.total, p.id);
+//! });
+//! let report = LabReport {
+//!     preset: "fig16".into(),
+//!     scale: 0.005,
+//!     base_seed: 0x5eed,
+//!     cells,
+//! };
+//! print!("{}", Preset::Fig16.render(&report));
+//! ```
+
+pub mod cli;
+pub mod engine;
+pub mod fmt;
+pub mod grid;
+pub mod json;
+pub mod presets;
+pub mod report;
+
+pub use engine::{run_cells, run_cells_with, Progress, RunOptions};
+pub use grid::{CellSpec, ExperimentGrid, Tuning, Variant};
+pub use presets::{Preset, PRESETS};
+pub use report::{CellMetrics, CellResult, CellStatus, LabReport};

@@ -1,0 +1,480 @@
+//! Cell results and the structured sweep report (JSON + CSV).
+
+use mehpt_sim::{PtKind, SimReport};
+
+use crate::grid::{CellSpec, Variant};
+use crate::json::Json;
+
+/// How a cell ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellStatus {
+    /// The simulation ran to completion.
+    Ok,
+    /// The simulation finished early by design (e.g. the paper's ECPT
+    /// contiguous-allocation failure above 0.7 FMFI). Metrics are present.
+    Aborted,
+    /// The cell panicked; the panic was caught and the rest of the sweep
+    /// continued. No metrics.
+    Failed,
+}
+
+impl CellStatus {
+    /// Lower-case report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CellStatus::Ok => "ok",
+            CellStatus::Aborted => "aborted",
+            CellStatus::Failed => "failed",
+        }
+    }
+}
+
+/// The deterministic measurements of one completed cell — a flattened
+/// [`SimReport`]. Wall-clock time deliberately lives outside this struct
+/// (on [`CellResult`]) so serialized reports are bit-identical across
+/// thread counts and machines.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellMetrics {
+    /// Accesses simulated.
+    pub accesses: u64,
+    /// Total cycles.
+    pub total_cycles: u64,
+    /// Fixed per-access base cycles.
+    pub base_cycles: u64,
+    /// TLB + page-walk cycles.
+    pub translation_cycles: u64,
+    /// OS fault-handling cycles (excluding allocation).
+    pub fault_cycles: u64,
+    /// Physical-memory allocation cycles.
+    pub alloc_cycles: u64,
+    /// Page-table maintenance cycles.
+    pub os_pt_cycles: u64,
+    /// Page faults taken.
+    pub faults: u64,
+    /// 4KB pages mapped.
+    pub pages_4k: u64,
+    /// 2MB pages mapped.
+    pub pages_2m: u64,
+    /// L2 TLB miss rate over all accesses.
+    pub tlb_miss_rate: f64,
+    /// Page walks performed.
+    pub walks: u64,
+    /// Mean memory accesses per walk.
+    pub mean_walk_accesses: f64,
+    /// Mean walk latency in cycles.
+    pub mean_walk_cycles: f64,
+    /// Final page-table bytes.
+    pub pt_final_bytes: u64,
+    /// Peak page-table bytes.
+    pub pt_peak_bytes: u64,
+    /// Largest contiguous page-table allocation.
+    pub pt_max_contiguous: u64,
+    /// Final size of each 4KB-table way.
+    pub way_sizes_4k: Vec<u64>,
+    /// Physical bytes backing each 4KB-table way.
+    pub way_phys_4k: Vec<u64>,
+    /// Upsizes per way, 4KB table.
+    pub upsizes_per_way_4k: Vec<u64>,
+    /// Upsizes per way, 2MB table.
+    pub upsizes_per_way_2m: Vec<u64>,
+    /// Mean fraction of entries moved per 4KB-table upsize.
+    pub moved_fraction_4k: f64,
+    /// Cuckoo re-insertion histogram, all tables pooled.
+    pub kicks_histogram: Vec<u64>,
+    /// L2P entries in use at the end.
+    pub l2p_entries_used: u64,
+    /// Chunk-size switches performed.
+    pub chunk_switches: u64,
+    /// Nominal data footprint of the workload.
+    pub data_bytes_nominal: u64,
+}
+
+impl From<&SimReport> for CellMetrics {
+    fn from(r: &SimReport) -> CellMetrics {
+        CellMetrics {
+            accesses: r.accesses,
+            total_cycles: r.total_cycles,
+            base_cycles: r.base_cycles,
+            translation_cycles: r.translation_cycles,
+            fault_cycles: r.fault_cycles,
+            alloc_cycles: r.alloc_cycles,
+            os_pt_cycles: r.os_pt_cycles,
+            faults: r.faults,
+            pages_4k: r.pages_4k,
+            pages_2m: r.pages_2m,
+            tlb_miss_rate: r.tlb_miss_rate,
+            walks: r.walks,
+            mean_walk_accesses: r.mean_walk_accesses,
+            mean_walk_cycles: r.mean_walk_cycles,
+            pt_final_bytes: r.pt_final_bytes,
+            pt_peak_bytes: r.pt_peak_bytes,
+            pt_max_contiguous: r.pt_max_contiguous,
+            way_sizes_4k: r.way_sizes_4k.clone(),
+            way_phys_4k: r.way_phys_4k.clone(),
+            upsizes_per_way_4k: r.upsizes_per_way_4k.clone(),
+            upsizes_per_way_2m: r.upsizes_per_way_2m.clone(),
+            moved_fraction_4k: r.moved_fraction_4k,
+            kicks_histogram: r.kicks_histogram.clone(),
+            l2p_entries_used: r.l2p_entries_used as u64,
+            chunk_switches: r.chunk_switches,
+            data_bytes_nominal: r.data_bytes_nominal,
+        }
+    }
+}
+
+impl CellMetrics {
+    /// Cycles per access (the normalized figure-9 metric).
+    pub fn cycles_per_access(&self) -> f64 {
+        self.total_cycles as f64 / self.accesses.max(1) as f64
+    }
+
+    /// Speedup over a baseline cell (cycles-per-access ratio, robust to
+    /// aborted baselines that ran fewer accesses).
+    pub fn speedup_over(&self, baseline: &CellMetrics) -> f64 {
+        baseline.cycles_per_access() / self.cycles_per_access()
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("accesses", Json::UInt(self.accesses)),
+            ("total_cycles", Json::UInt(self.total_cycles)),
+            ("base_cycles", Json::UInt(self.base_cycles)),
+            ("translation_cycles", Json::UInt(self.translation_cycles)),
+            ("fault_cycles", Json::UInt(self.fault_cycles)),
+            ("alloc_cycles", Json::UInt(self.alloc_cycles)),
+            ("os_pt_cycles", Json::UInt(self.os_pt_cycles)),
+            ("faults", Json::UInt(self.faults)),
+            ("pages_4k", Json::UInt(self.pages_4k)),
+            ("pages_2m", Json::UInt(self.pages_2m)),
+            ("tlb_miss_rate", Json::Num(self.tlb_miss_rate)),
+            ("walks", Json::UInt(self.walks)),
+            ("mean_walk_accesses", Json::Num(self.mean_walk_accesses)),
+            ("mean_walk_cycles", Json::Num(self.mean_walk_cycles)),
+            ("pt_final_bytes", Json::UInt(self.pt_final_bytes)),
+            ("pt_peak_bytes", Json::UInt(self.pt_peak_bytes)),
+            ("pt_max_contiguous", Json::UInt(self.pt_max_contiguous)),
+            ("way_sizes_4k", Json::uints(&self.way_sizes_4k)),
+            ("way_phys_4k", Json::uints(&self.way_phys_4k)),
+            ("upsizes_per_way_4k", Json::uints(&self.upsizes_per_way_4k)),
+            ("upsizes_per_way_2m", Json::uints(&self.upsizes_per_way_2m)),
+            ("moved_fraction_4k", Json::Num(self.moved_fraction_4k)),
+            ("kicks_histogram", Json::uints(&self.kicks_histogram)),
+            ("l2p_entries_used", Json::UInt(self.l2p_entries_used)),
+            ("chunk_switches", Json::UInt(self.chunk_switches)),
+            ("data_bytes_nominal", Json::UInt(self.data_bytes_nominal)),
+        ])
+    }
+}
+
+/// The outcome of one cell.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// What was run.
+    pub spec: CellSpec,
+    /// How it ended.
+    pub status: CellStatus,
+    /// The abort reason or caught panic message, when not [`CellStatus::Ok`].
+    pub error: Option<String>,
+    /// The measurements ([`None`] for failed cells).
+    pub metrics: Option<CellMetrics>,
+    /// Wall-clock milliseconds the cell took. Streamed to progress output
+    /// and aggregated on stderr, but **never serialized** — reports must be
+    /// identical across `--jobs` settings.
+    pub wall_millis: u64,
+}
+
+impl CellResult {
+    fn to_json(&self) -> Json {
+        let s = &self.spec;
+        Json::obj(vec![
+            ("id", Json::Str(s.id())),
+            ("app", Json::Str(s.app.name().to_string())),
+            ("kind", Json::Str(s.kind.label().to_string())),
+            ("thp", Json::Bool(s.thp)),
+            ("variant", Json::Str(s.variant.tag().to_string())),
+            ("fragmentation", Json::Num(s.fragmentation)),
+            ("graph_nodes", Json::UInt(s.graph_nodes)),
+            ("seed", Json::UInt(s.seed)),
+            ("status", Json::Str(self.status.label().to_string())),
+            (
+                "error",
+                match &self.error {
+                    Some(e) => Json::Str(e.clone()),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "metrics",
+                match &self.metrics {
+                    Some(m) => m.to_json(),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// A whole sweep's structured report: every cell plus aggregate counts.
+#[derive(Clone, Debug)]
+pub struct LabReport {
+    /// Preset or sweep name.
+    pub preset: String,
+    /// The uniform workload scale the sweep ran at.
+    pub scale: f64,
+    /// The base seed the per-cell seeds derive from.
+    pub base_seed: u64,
+    /// Per-cell outcomes, in grid-expansion order.
+    pub cells: Vec<CellResult>,
+}
+
+impl LabReport {
+    /// `(ok, aborted, failed)` cell counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for cell in &self.cells {
+            match cell.status {
+                CellStatus::Ok => c.0 += 1,
+                CellStatus::Aborted => c.1 += 1,
+                CellStatus::Failed => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Total wall-clock milliseconds across cells (CPU-side; not part of
+    /// the serialized report).
+    pub fn total_wall_millis(&self) -> u64 {
+        self.cells.iter().map(|c| c.wall_millis).sum()
+    }
+
+    /// Looks up one cell by its grid coordinates (the first match on any
+    /// graph size).
+    pub fn cell(
+        &self,
+        app: mehpt_workloads::App,
+        kind: PtKind,
+        thp: bool,
+        variant: Variant,
+    ) -> Option<&CellResult> {
+        self.cells.iter().find(|c| {
+            c.spec.app == app
+                && c.spec.kind == kind
+                && c.spec.thp == thp
+                && c.spec.variant == variant
+        })
+    }
+
+    /// Looks up one cell by grid coordinates including the graph size.
+    pub fn cell_at(
+        &self,
+        app: mehpt_workloads::App,
+        kind: PtKind,
+        thp: bool,
+        variant: Variant,
+        graph_nodes: u64,
+    ) -> Option<&CellResult> {
+        self.cells.iter().find(|c| {
+            c.spec.app == app
+                && c.spec.kind == kind
+                && c.spec.thp == thp
+                && c.spec.variant == variant
+                && c.spec.graph_nodes == graph_nodes
+        })
+    }
+
+    /// Looks up one cell's metrics by its grid coordinates (graph size
+    /// defaults to the first matching cell).
+    pub fn metrics(
+        &self,
+        app: mehpt_workloads::App,
+        kind: PtKind,
+        thp: bool,
+        variant: Variant,
+    ) -> Option<&CellMetrics> {
+        self.cell(app, kind, thp, variant)
+            .and_then(|c| c.metrics.as_ref())
+    }
+
+    /// The serialized JSON report. Deterministic: a pure function of the
+    /// cell specs and their simulation results.
+    pub fn to_json(&self) -> String {
+        let (ok, aborted, failed) = self.counts();
+        let total_cycles: u64 = self
+            .cells
+            .iter()
+            .filter_map(|c| c.metrics.as_ref())
+            .map(|m| m.total_cycles)
+            .sum();
+        let total_accesses: u64 = self
+            .cells
+            .iter()
+            .filter_map(|c| c.metrics.as_ref())
+            .map(|m| m.accesses)
+            .sum();
+        Json::obj(vec![
+            ("preset", Json::Str(self.preset.clone())),
+            ("scale", Json::Num(self.scale)),
+            ("base_seed", Json::UInt(self.base_seed)),
+            (
+                "summary",
+                Json::obj(vec![
+                    ("cells", Json::UInt(self.cells.len() as u64)),
+                    ("ok", Json::UInt(ok as u64)),
+                    ("aborted", Json::UInt(aborted as u64)),
+                    ("failed", Json::UInt(failed as u64)),
+                    ("total_cycles", Json::UInt(total_cycles)),
+                    ("total_accesses", Json::UInt(total_accesses)),
+                ]),
+            ),
+            (
+                "cells",
+                Json::Arr(self.cells.iter().map(CellResult::to_json).collect()),
+            ),
+        ])
+        .render()
+    }
+
+    /// The CSV report: one row per cell with the headline metrics.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "id,app,kind,thp,variant,graph_nodes,fragmentation,seed,status,\
+             accesses,total_cycles,faults,pages_4k,pages_2m,tlb_miss_rate,\
+             walks,mean_walk_cycles,pt_final_bytes,pt_peak_bytes,\
+             pt_max_contiguous,l2p_entries_used,chunk_switches,error\n",
+        );
+        for cell in &self.cells {
+            let s = &cell.spec;
+            let m = cell.metrics.as_ref();
+            let num = |f: Option<u64>| f.map(|v| v.to_string()).unwrap_or_default();
+            let fnum = |f: Option<f64>| f.map(|v| format!("{v}")).unwrap_or_default();
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                s.id(),
+                s.app.name(),
+                s.kind.label(),
+                s.thp,
+                s.variant.tag(),
+                s.graph_nodes,
+                s.fragmentation,
+                s.seed,
+                cell.status.label(),
+                num(m.map(|m| m.accesses)),
+                num(m.map(|m| m.total_cycles)),
+                num(m.map(|m| m.faults)),
+                num(m.map(|m| m.pages_4k)),
+                num(m.map(|m| m.pages_2m)),
+                fnum(m.map(|m| m.tlb_miss_rate)),
+                num(m.map(|m| m.walks)),
+                fnum(m.map(|m| m.mean_walk_cycles)),
+                num(m.map(|m| m.pt_final_bytes)),
+                num(m.map(|m| m.pt_peak_bytes)),
+                num(m.map(|m| m.pt_max_contiguous)),
+                num(m.map(|m| m.l2p_entries_used)),
+                num(m.map(|m| m.chunk_switches)),
+                csv_escape(cell.error.as_deref().unwrap_or("")),
+            ));
+        }
+        out
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{ExperimentGrid, Tuning};
+    use mehpt_workloads::App;
+
+    fn fake_metrics(cycles: u64) -> CellMetrics {
+        CellMetrics {
+            accesses: 100,
+            total_cycles: cycles,
+            base_cycles: 0,
+            translation_cycles: 0,
+            fault_cycles: 0,
+            alloc_cycles: 0,
+            os_pt_cycles: 0,
+            faults: 1,
+            pages_4k: 1,
+            pages_2m: 0,
+            tlb_miss_rate: 0.5,
+            walks: 2,
+            mean_walk_accesses: 1.0,
+            mean_walk_cycles: 30.0,
+            pt_final_bytes: 4096,
+            pt_peak_bytes: 8192,
+            pt_max_contiguous: 4096,
+            way_sizes_4k: vec![8192; 3],
+            way_phys_4k: vec![8192; 3],
+            upsizes_per_way_4k: vec![0; 3],
+            upsizes_per_way_2m: vec![],
+            moved_fraction_4k: 0.5,
+            kicks_histogram: vec![10, 2],
+            l2p_entries_used: 3,
+            chunk_switches: 0,
+            data_bytes_nominal: 1 << 30,
+        }
+    }
+
+    fn fake_report() -> LabReport {
+        let grid =
+            ExperimentGrid::paper(vec![App::Gups, App::Bfs], vec![PtKind::MeHpt], vec![false]);
+        let cells = grid
+            .expand(&Tuning::quick())
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| CellResult {
+                spec,
+                status: if i == 0 {
+                    CellStatus::Ok
+                } else {
+                    CellStatus::Failed
+                },
+                error: (i != 0).then(|| "injected, with comma".to_string()),
+                metrics: (i == 0).then(|| fake_metrics(1000)),
+                wall_millis: 12 + i as u64,
+            })
+            .collect();
+        LabReport {
+            preset: "test".into(),
+            scale: 0.005,
+            base_seed: 0x5eed,
+            cells,
+        }
+    }
+
+    #[test]
+    fn json_report_is_deterministic_and_ignores_wall_clock() {
+        let mut a = fake_report();
+        let mut b = fake_report();
+        a.cells[0].wall_millis = 1;
+        b.cells[0].wall_millis = 99_999;
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a.to_json().contains("\"status\": \"failed\""));
+        assert!(a.to_json().contains("\"metrics\": null"));
+    }
+
+    #[test]
+    fn csv_has_a_row_per_cell_and_escapes_errors() {
+        let r = fake_report();
+        let csv = r.to_csv();
+        assert_eq!(csv.lines().count(), 1 + r.cells.len());
+        assert!(csv.contains("\"injected, with comma\""));
+    }
+
+    #[test]
+    fn counts_and_speedup() {
+        let r = fake_report();
+        assert_eq!(r.counts(), (1, 0, 1));
+        let fast = fake_metrics(100);
+        let slow = fake_metrics(300);
+        assert!((fast.speedup_over(&slow) - 3.0).abs() < 1e-9);
+    }
+}

@@ -3,8 +3,8 @@
 //! compaction safety.
 
 use mehpt_mem::{AllocCostModel, AllocTag, BuddyAllocator, Chunk, PhysMem};
+use mehpt_types::proptest_lite::{check, Gen};
 use mehpt_types::MIB;
-use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -12,30 +12,26 @@ enum Op {
     FreeNth(usize),
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            3 => (0u8..6).prop_map(Op::Alloc),
-            2 => any::<usize>().prop_map(Op::FreeNth),
-        ],
-        0..400,
-    )
+fn gen_ops(g: &mut Gen) -> Vec<Op> {
+    g.vec_of(400, |g| match g.weighted(&[3, 2]) {
+        0 => Op::Alloc(g.below(6) as u8),
+        _ => Op::FreeNth(g.u64() as usize),
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Frame accounting never drifts and free blocks stay aligned,
-    /// whatever the alloc/free interleaving.
-    #[test]
-    fn buddy_invariants_hold(ops in ops()) {
+/// Frame accounting never drifts and free blocks stay aligned,
+/// whatever the alloc/free interleaving.
+#[test]
+fn buddy_invariants_hold() {
+    check("buddy_invariants_hold", 64, |g| {
+        let ops = gen_ops(g);
         let mut buddy = BuddyAllocator::new(4096);
         let mut live: Vec<(u64, u8)> = Vec::new();
         for op in ops {
             match op {
                 Op::Alloc(order) => {
                     if let Some(frame) = buddy.alloc(order) {
-                        prop_assert_eq!(frame % (1 << order), 0, "misaligned block");
+                        assert_eq!(frame % (1 << order), 0, "misaligned block");
                         live.push((frame, order));
                     }
                 }
@@ -53,13 +49,16 @@ proptest! {
             buddy.free(frame, order);
         }
         buddy.check_invariants();
-        prop_assert_eq!(buddy.free_frames(), 4096);
-        prop_assert_eq!(buddy.fmfi(9), 0.0, "full coalescing expected");
-    }
+        assert_eq!(buddy.free_frames(), 4096);
+        assert_eq!(buddy.fmfi(9), 0.0, "full coalescing expected");
+    });
+}
 
-    /// Live allocations never overlap.
-    #[test]
-    fn buddy_blocks_never_overlap(ops in ops()) {
+/// Live allocations never overlap.
+#[test]
+fn buddy_blocks_never_overlap() {
+    check("buddy_blocks_never_overlap", 64, |g| {
+        let ops = gen_ops(g);
         let mut buddy = BuddyAllocator::new(1024);
         let mut live: Vec<(u64, u8)> = Vec::new();
         for op in ops {
@@ -69,8 +68,10 @@ proptest! {
                         let (start, end) = (frame, frame + (1u64 << order));
                         for &(f, o) in &live {
                             let (s2, e2) = (f, f + (1u64 << o));
-                            prop_assert!(end <= s2 || e2 <= start,
-                                "overlap: [{},{}) vs [{},{})", start, end, s2, e2);
+                            assert!(
+                                end <= s2 || e2 <= start,
+                                "overlap: [{start},{end}) vs [{s2},{e2})"
+                            );
                         }
                         live.push((frame, order));
                     }
@@ -83,21 +84,28 @@ proptest! {
                 }
             }
         }
-    }
+    });
+}
 
-    /// PhysMem: stats stay consistent and chunks are aligned and disjoint
-    /// under arbitrary tagged workloads, including compaction.
-    #[test]
-    fn phys_mem_accounting_consistent(ops in ops()) {
+/// PhysMem: stats stay consistent and chunks are aligned and disjoint
+/// under arbitrary tagged workloads, including compaction.
+#[test]
+fn phys_mem_accounting_consistent() {
+    check("phys_mem_accounting_consistent", 64, |g| {
+        let ops = gen_ops(g);
         let mut mem = PhysMem::with_cost_model(64 * MIB, AllocCostModel::zero_cost());
         let mut live: Vec<Chunk> = Vec::new();
         for op in ops {
             match op {
                 Op::Alloc(order) => {
                     let bytes = 4096u64 << order.min(10);
-                    let tag = if order % 2 == 0 { AllocTag::Data } else { AllocTag::PageTable };
+                    let tag = if order % 2 == 0 {
+                        AllocTag::Data
+                    } else {
+                        AllocTag::PageTable
+                    };
                     if let Ok(chunk) = mem.alloc(bytes, tag) {
-                        prop_assert_eq!(chunk.base().0 % bytes, 0);
+                        assert_eq!(chunk.base().0 % bytes, 0);
                         live.push(chunk);
                     }
                 }
@@ -119,10 +127,7 @@ proptest! {
                 .filter(|c| c.tag() == AllocTag::PageTable)
                 .map(|c| c.bytes())
                 .sum();
-            prop_assert_eq!(
-                mem.stats().tag(AllocTag::PageTable).current_bytes,
-                live_pt
-            );
+            assert_eq!(mem.stats().tag(AllocTag::PageTable).current_bytes, live_pt);
         }
-    }
+    });
 }

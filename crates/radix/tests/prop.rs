@@ -6,8 +6,8 @@ use std::collections::HashMap;
 
 use mehpt_mem::{AllocCostModel, AllocTag, PhysMem};
 use mehpt_radix::RadixPageTable;
+use mehpt_types::proptest_lite::{check, Gen};
 use mehpt_types::{PageSize, Ppn, Vpn, GIB};
-use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -17,16 +17,16 @@ enum Op {
     Remap(u32, u32),
 }
 
-fn op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (any::<u32>(), any::<u32>()).prop_map(|(k, v)| Op::Map(k % 100_000, v)),
-        2 => any::<u32>().prop_map(|k| Op::Unmap(k % 100_000)),
-        2 => any::<u32>().prop_map(|k| Op::Translate(k % 100_000)),
-        1 => (any::<u32>(), any::<u32>()).prop_map(|(k, v)| Op::Remap(k % 100_000, v)),
-    ]
+fn gen_ops(g: &mut Gen) -> Vec<Op> {
+    g.vec_of(600, |g| match g.weighted(&[4, 2, 2, 1]) {
+        0 => Op::Map(g.u32() % 100_000, g.u32()),
+        1 => Op::Unmap(g.u32() % 100_000),
+        2 => Op::Translate(g.u32() % 100_000),
+        _ => Op::Remap(g.u32() % 100_000, g.u32()),
+    })
 }
 
-fn check(levels: usize, ops: Vec<Op>) {
+fn run_model(levels: usize, ops: Vec<Op>) {
     let mut mem = PhysMem::with_cost_model(GIB, AllocCostModel::zero_cost());
     let before = mem.stats().tag(AllocTag::PageTable).current_bytes;
     let mut pt = RadixPageTable::with_levels(levels, &mut mem).unwrap();
@@ -77,16 +77,16 @@ fn check(levels: usize, ops: Vec<Op>) {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+#[test]
+fn four_level_matches_hashmap() {
+    check("four_level_matches_hashmap", 32, |g| {
+        run_model(4, gen_ops(g));
+    });
+}
 
-    #[test]
-    fn four_level_matches_hashmap(ops in proptest::collection::vec(op(), 0..600)) {
-        check(4, ops);
-    }
-
-    #[test]
-    fn five_level_matches_hashmap(ops in proptest::collection::vec(op(), 0..600)) {
-        check(5, ops);
-    }
+#[test]
+fn five_level_matches_hashmap() {
+    check("five_level_matches_hashmap", 32, |g| {
+        run_model(5, gen_ops(g));
+    });
 }

@@ -9,6 +9,8 @@
 //!   modeled architecture (4KB, 2MB, 1GB).
 //! * [`rng`] — a small deterministic pseudo-random number generator so that
 //!   every simulation in the workspace is exactly reproducible from a seed.
+//! * [`proptest_lite`] — a dependency-free property-testing harness (the
+//!   workspace builds offline, with no crates-io dependencies).
 //! * [`ByteSize`] — human-readable formatting of byte quantities, used by the
 //!   benchmark harness when printing the paper's tables.
 //!
@@ -29,6 +31,7 @@
 
 mod addr;
 mod page;
+pub mod proptest_lite;
 pub mod rng;
 mod size;
 

@@ -1,0 +1,242 @@
+//! A minimal, self-contained property-testing harness.
+//!
+//! The workspace builds with no crates-io dependencies, so the usual
+//! `proptest` crate is replaced by this module: a deterministic randomized
+//! case runner driven by [`Xoshiro256`](crate::rng::Xoshiro256). Each test
+//! runs `cases` independently seeded inputs; a failing case reports the
+//! exact seed that reproduces it, and `MEHPT_PROP_SEED` replays just that
+//! seed.
+//!
+//! Environment knobs:
+//!
+//! * `MEHPT_PROP_CASES` — overrides the case count of every property test
+//!   (e.g. `MEHPT_PROP_CASES=1000` for a deeper soak).
+//! * `MEHPT_PROP_SEED`  — runs a single case with the given seed (decimal
+//!   or `0x`-prefixed hex), as printed by a failure report.
+//!
+//! # Examples
+//!
+//! ```
+//! use mehpt_types::proptest_lite::{check, Gen};
+//!
+//! check("sum_is_commutative", 64, |g: &mut Gen| {
+//!     let (a, b) = (g.u32(), g.u32());
+//!     assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+//! });
+//! ```
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::rng::{splitmix64, Xoshiro256};
+
+/// A source of randomized test inputs for one property-test case.
+///
+/// Thin wrapper over [`Xoshiro256`] with the generation helpers the
+/// workspace's property tests need.
+#[derive(Clone, Debug)]
+pub struct Gen {
+    rng: Xoshiro256,
+    seed: u64,
+}
+
+impl Gen {
+    /// Creates a generator for one case from its seed.
+    pub fn from_seed(seed: u64) -> Gen {
+        Gen {
+            rng: Xoshiro256::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this case was created from (for failure reports).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// A uniform `u32`.
+    pub fn u32(&mut self) -> u32 {
+        self.rng.next_u64() as u32
+    }
+
+    /// A uniform `u16`.
+    pub fn u16(&mut self) -> u16 {
+        self.rng.next_u64() as u16
+    }
+
+    /// A uniform `u8`.
+    pub fn u8(&mut self) -> u8 {
+        self.rng.next_u64() as u8
+    }
+
+    /// A uniform `bool`.
+    pub fn bool(&mut self) -> bool {
+        self.rng.next_u64() & 1 == 1
+    }
+
+    /// A uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.rng.next_below(bound)
+    }
+
+    /// A uniform `usize` in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.rng.next_below(bound as u64) as usize
+    }
+
+    /// A uniform length in `[0, max_len]` — the size driver for
+    /// variable-length inputs.
+    pub fn len(&mut self, max_len: usize) -> usize {
+        self.index(max_len + 1)
+    }
+
+    /// Chooses an index with the given relative weights (the analogue of
+    /// `prop_oneof!` with weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u64 = weights.iter().map(|&w| w as u64).sum();
+        assert!(total > 0, "weights must not be empty or all-zero");
+        let mut roll = self.below(total);
+        for (i, &w) in weights.iter().enumerate() {
+            if roll < w as u64 {
+                return i;
+            }
+            roll -= w as u64;
+        }
+        unreachable!("roll exceeded the total weight")
+    }
+
+    /// A vector of up to `max_len` values drawn from `f`.
+    pub fn vec_of<T>(&mut self, max_len: usize, mut f: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let n = self.len(max_len);
+        (0..n).map(|_| f(self)).collect()
+    }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    let v = std::env::var(key).ok()?;
+    let v = v.trim();
+    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}
+
+/// Derives the deterministic seed of case `i` of the test named `name`.
+///
+/// Mixing the test name in keeps different properties from exploring
+/// correlated input streams even though they share case indices.
+pub fn case_seed(name: &str, i: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over the name
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut s = h ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    splitmix64(&mut s)
+}
+
+/// Runs `body` against `cases` independently seeded [`Gen`]s.
+///
+/// On a failing case the panic is re-raised after printing the test name,
+/// case number and seed, plus the `MEHPT_PROP_SEED` incantation that
+/// replays exactly that input.
+///
+/// # Panics
+///
+/// Propagates the first failing case's panic.
+pub fn check(name: &str, cases: u64, body: impl Fn(&mut Gen)) {
+    if let Some(seed) = env_u64("MEHPT_PROP_SEED") {
+        let mut g = Gen::from_seed(seed);
+        body(&mut g);
+        return;
+    }
+    let cases = env_u64("MEHPT_PROP_CASES").unwrap_or(cases);
+    for i in 0..cases {
+        let seed = case_seed(name, i);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut g = Gen::from_seed(seed);
+            body(&mut g);
+        }));
+        if let Err(panic) = outcome {
+            eprintln!(
+                "proptest_lite: property {name:?} failed at case {i}/{cases} \
+                 (seed {seed:#018x}); replay with MEHPT_PROP_SEED={seed:#x}"
+            );
+            resume_unwind(panic);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_is_deterministic_per_seed() {
+        let mut a = Gen::from_seed(7);
+        let mut b = Gen::from_seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.u64(), b.u64());
+        }
+    }
+
+    #[test]
+    fn case_seeds_differ_across_cases_and_names() {
+        assert_ne!(case_seed("a", 0), case_seed("a", 1));
+        assert_ne!(case_seed("a", 0), case_seed("b", 0));
+    }
+
+    #[test]
+    fn weighted_respects_zero_weight_arms() {
+        let mut g = Gen::from_seed(1);
+        for _ in 0..1000 {
+            let pick = g.weighted(&[3, 0, 1]);
+            assert_ne!(pick, 1, "zero-weight arm must never be chosen");
+        }
+    }
+
+    #[test]
+    fn vec_of_respects_bounds() {
+        let mut g = Gen::from_seed(2);
+        for _ in 0..100 {
+            let v = g.vec_of(17, |g| g.u8());
+            assert!(v.len() <= 17);
+        }
+    }
+
+    #[test]
+    fn check_runs_every_case() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let count = AtomicU64::new(0);
+        check("counting", 32, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        // MEHPT_PROP_CASES may rescale the count; it still must have run.
+        assert!(count.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn failing_case_reports_and_propagates() {
+        let outcome = std::panic::catch_unwind(|| {
+            check("always_fails", 4, |_| panic!("boom"));
+        });
+        assert!(outcome.is_err());
+    }
+}

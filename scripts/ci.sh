@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Offline CI for the mehpt workspace: format, build, test, and a smoke run
+# of the mehpt-lab experiment runner. No network access required — the
+# workspace has no crates-io dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> mehpt-lab table1 --jobs 2 --quick (smoke)"
+./target/release/mehpt-lab table1 --jobs 2 --quick --out target/lab-ci >/dev/null
+
+echo "==> determinism: --jobs 1 and --jobs 4 must emit identical reports"
+./target/release/mehpt-lab fig16 --jobs 1 --quick --out target/lab-ci-j1 >/dev/null 2>&1
+./target/release/mehpt-lab fig16 --jobs 4 --quick --out target/lab-ci-j4 >/dev/null 2>&1
+cmp target/lab-ci-j1/fig16/report.json target/lab-ci-j4/fig16/report.json
+cmp target/lab-ci-j1/fig16/report.csv target/lab-ci-j4/fig16/report.csv
+
+echo "CI OK"

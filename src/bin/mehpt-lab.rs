@@ -1,0 +1,17 @@
+//! `mehpt-lab` — parallel, deterministic experiment runner.
+//!
+//! All logic lives in [`mehpt_lab::cli`]; this shim parses `std::env::args`
+//! and maps errors to the documented exit codes (2 = usage error).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match mehpt_lab::cli::parse_args(&args) {
+        Ok(parsed) => std::process::exit(mehpt_lab::cli::run(&parsed)),
+        Err(msg) if msg.is_empty() => print!("{}", mehpt_lab::cli::USAGE),
+        Err(msg) => {
+            eprintln!("mehpt-lab: {msg}");
+            eprintln!("try `mehpt-lab --help`");
+            std::process::exit(2);
+        }
+    }
+}

@@ -61,6 +61,7 @@
 //! | [`core`] | ME-HPT: L2P table, chunk ladder, in-place + per-way resizing |
 //! | [`sim`] | the trace-driven translation simulator |
 //! | [`workloads`] | the eleven calibrated synthetic workloads |
+//! | [`lab`] | parallel, deterministic experiment runner (`mehpt-lab`) |
 //!
 //! See `DESIGN.md` for the full system inventory and the per-experiment
 //! index, and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -71,6 +72,7 @@
 pub use mehpt_core as core;
 pub use mehpt_ecpt as ecpt;
 pub use mehpt_hash as hash;
+pub use mehpt_lab as lab;
 pub use mehpt_mem as mem;
 pub use mehpt_radix as radix;
 pub use mehpt_sim as sim;
