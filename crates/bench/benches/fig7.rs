@@ -1,0 +1,10 @@
+//! Figure 7 — cycles per access across the fragmentation (FMFI) sweep.
+//!
+//! Thin wrapper over the `mehpt-lab fig7` preset: the grid definition and
+//! renderer live in `crates/lab` (see EXPERIMENTS.md for the full preset
+//! map). Prefer the `mehpt-lab` binary for `--jobs`/`--seeds`/`--quick`
+//! control and JSON/CSV reports; set `MEHPT_SEEDS` here for CI bands.
+
+fn main() {
+    std::process::exit(bench::run_preset(mehpt_lab::Preset::Fig7));
+}

@@ -16,6 +16,8 @@
 //!   for a quick pass).
 //! * `MEHPT_JOBS` — worker threads (default: available parallelism).
 //!   Results are identical for every value.
+//! * `MEHPT_SEEDS` — replicates per cell (default 1); reports gain
+//!   mean/min/max/95% CI aggregates over the replicate seeds.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,6 +46,15 @@ pub fn jobs() -> usize {
         .unwrap_or(0)
 }
 
+/// Replicates per cell from `MEHPT_SEEDS` (default 1; clamped to >= 1).
+pub fn seeds() -> u32 {
+    std::env::var("MEHPT_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+        .max(1)
+}
+
 /// The lab tuning the bench targets run under (`MEHPT_SCALE` applied).
 pub fn tuning() -> Tuning {
     Tuning {
@@ -65,6 +76,7 @@ pub fn run_preset(preset: Preset) -> i32 {
     let args = LabArgs {
         presets: vec![preset],
         jobs: jobs(),
+        seeds: seeds(),
         tuning: tuning(),
         out,
         ..LabArgs::default()
@@ -78,7 +90,11 @@ pub fn run_preset(preset: Preset) -> i32 {
 pub fn run_grid(name: &str, grid: &ExperimentGrid) -> LabReport {
     let t = tuning();
     let specs = grid.expand(&t);
-    let cells = run_cells(&specs, &RunOptions { jobs: jobs() }, &|p| {
+    let opts = RunOptions {
+        jobs: jobs(),
+        seeds: seeds(),
+    };
+    let cells = run_cells(&specs, &opts, &|p| {
         eprintln!(
             "[{:>3}/{}] {:>7}  {}",
             p.done,
@@ -91,6 +107,7 @@ pub fn run_grid(name: &str, grid: &ExperimentGrid) -> LabReport {
         preset: name.to_string(),
         scale: t.scale,
         base_seed: t.base_seed,
+        seeds: seeds(),
         cells,
     }
 }
@@ -122,7 +139,7 @@ mod tests {
             ..Tuning::quick()
         };
         let specs = grid.expand(&t);
-        let cells = run_cells(&specs, &RunOptions { jobs: 1 }, &|_| {});
+        let cells = run_cells(&specs, &RunOptions::with_jobs(1), &|_| {});
         assert_eq!(cells.len(), 1);
         assert!(cells[0].metrics.is_some());
     }

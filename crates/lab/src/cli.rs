@@ -1,16 +1,21 @@
-//! The `mehpt-lab` command-line driver.
+//! The `mehpt-lab` command-line driver: sweep runs and report diffing.
 //!
 //! Kept in the library (rather than the binary) so argument parsing and the
-//! preset-union plumbing are unit-testable. The binary is a two-line shim.
+//! preset-union plumbing are unit-testable. The binary is a two-line shim
+//! around [`parse_command`] / [`run_command`]. Two commands exist: the
+//! (default) sweep runner — presets, `--jobs`, `--seeds`, `--frag` — and
+//! `mehpt-lab diff`, which compares two `report.json` files within
+//! tolerance/CI bands and exits non-zero on drift.
 
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use mehpt_sim::SimReport;
 use mehpt_workloads::App;
 
+use crate::diff::{diff_texts, DiffOptions};
 use crate::engine::{self, Progress, RunOptions, WORKER_THREAD_PREFIX};
-use crate::grid::{CellSpec, Tuning};
+use crate::grid::{CellSpec, FmfiAxis, Tuning};
 use crate::presets::{Preset, PRESETS};
 use crate::report::{CellStatus, LabReport};
 
@@ -19,33 +24,46 @@ pub const USAGE: &str = "\
 mehpt-lab — parallel, deterministic experiment runner for the ME-HPT model
 
 USAGE:
-    mehpt-lab <preset>... [OPTIONS]
-    mehpt-lab all [OPTIONS]      run every preset (shared cells run once)
-    mehpt-lab list               list presets and their cell counts
+    mehpt-lab [run] <preset>... [OPTIONS]
+    mehpt-lab all [OPTIONS]         run every preset (shared cells run once)
+    mehpt-lab list                  list presets and their cell counts
+    mehpt-lab diff <a.json> <b.json> [DIFF OPTIONS]
+                                    compare two reports; exit 1 on drift
 
 PRESETS:
-    table1 table2 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16
+    table1 table2 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16
 
 OPTIONS:
+    --preset NAME      add a preset (same as the bare word)
     --jobs N           worker threads (default: available parallelism;
                        results are identical for every N)
+    --seeds N          replicates per cell (default 1); reports gain
+                       mean/min/max/95% CI aggregates over the replicates
     --quick            tiny footprints for smoke runs (scale 0.005, 2GB)
     --scale X          workload scale factor (default 1.0)
     --mem-gb N         simulated physical memory in GB (default 64)
-    --frag F           memory fragmentation (FMFI), 0.0-1.0 (default 0.7)
+    --frag F           pin fragmentation (FMFI) to F, 0.0-1.0 (default 0.7;
+                       overrides fig7's built-in 0.0-0.9 sweep too)
     --seed S           base seed (decimal or 0x hex; default 0x5eed)
     --max-accesses N   cap simulated accesses per cell
     --out DIR          report directory (default target/lab)
     --inject-panic APP panic inside APP's cells (tests panic isolation)
     -h, --help         this text
 
-Reports land in <out>/<preset>/report.{json,csv}. JSON and CSV are pure
-functions of the cell grid and seeds: --jobs 1 and --jobs 8 emit
-byte-identical files. Exit status: 0 on success (aborted cells are modeled
-outcomes and count as success), 1 if any cell failed, 2 on usage errors.
+DIFF OPTIONS:
+    --abs-tol X        absolute tolerance per metric (default 0 = exact)
+    --rel-tol X        relative tolerance per metric (default 0 = exact)
+    --no-ci            ignore 95% CI overlap (flag drift even when the two
+                       sweeps' own confidence bands already cover it)
+
+Reports land in <out>/<preset>/report.{json,csv} (written atomically).
+JSON and CSV are pure functions of the cell grid and seeds: --jobs 1 and
+--jobs 8 emit byte-identical files, which `mehpt-lab diff` verifies. Exit
+status: 0 on success (aborted cells are modeled outcomes and count as
+success), 1 if any cell failed / reports drifted, 2 on usage errors.
 ";
 
-/// Parsed command line.
+/// Parsed command line for the sweep runner.
 #[derive(Clone, Debug)]
 pub struct LabArgs {
     /// Presets to run, in order.
@@ -54,6 +72,8 @@ pub struct LabArgs {
     pub list: bool,
     /// Worker threads (0 = available parallelism).
     pub jobs: usize,
+    /// Replicates per cell (`--seeds`; clamped to at least 1).
+    pub seeds: u32,
     /// Scale/memory/seed knobs.
     pub tuning: Tuning,
     /// Fragmentation override (`--frag`).
@@ -70,12 +90,33 @@ impl Default for LabArgs {
             presets: Vec::new(),
             list: false,
             jobs: 0,
+            seeds: 1,
             tuning: Tuning::default(),
             frag: None,
             out: PathBuf::from("target/lab"),
             inject_panic: None,
         }
     }
+}
+
+/// Parsed command line for `mehpt-lab diff`.
+#[derive(Clone, Debug)]
+pub struct DiffArgs {
+    /// First report (`a`).
+    pub a: PathBuf,
+    /// Second report (`b`).
+    pub b: PathBuf,
+    /// Acceptance bands.
+    pub opts: DiffOptions,
+}
+
+/// A parsed `mehpt-lab` invocation.
+#[derive(Clone, Debug)]
+pub enum Command {
+    /// Run sweeps (the default command, with or without the `run` word).
+    Lab(LabArgs),
+    /// Compare two reports.
+    Diff(DiffArgs),
 }
 
 fn parse_u64(s: &str) -> Result<u64, String> {
@@ -87,7 +128,47 @@ fn parse_u64(s: &str) -> Result<u64, String> {
     r.map_err(|_| format!("not a number: {s}"))
 }
 
-/// Parses the argument list (without the program name).
+/// Parses a full invocation: dispatches to [`parse_args`] (sweep runner,
+/// with or without a leading `run` word) or the `diff` subcommand.
+pub fn parse_command(args: &[String]) -> Result<Command, String> {
+    match args.first().map(String::as_str) {
+        Some("diff") => parse_diff_args(&args[1..]).map(Command::Diff),
+        Some("run") => parse_args(&args[1..]).map(Command::Lab),
+        _ => parse_args(args).map(Command::Lab),
+    }
+}
+
+/// Parses the arguments of `mehpt-lab diff` (without the `diff` word).
+pub fn parse_diff_args(args: &[String]) -> Result<DiffArgs, String> {
+    let mut paths = Vec::new();
+    let mut opts = DiffOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        let tol = |name: &str, s: &str| -> Result<f64, String> {
+            s.parse::<f64>()
+                .ok()
+                .filter(|t| *t >= 0.0)
+                .ok_or_else(|| format!("bad {name}: {s}"))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => return Err(String::new()),
+            "--abs-tol" => opts.abs_tol = tol("--abs-tol", value("--abs-tol")?)?,
+            "--rel-tol" => opts.rel_tol = tol("--rel-tol", value("--rel-tol")?)?,
+            "--no-ci" => opts.ci_overlap = false,
+            flag if flag.starts_with('-') => return Err(format!("unknown argument: {flag}")),
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+    let [a, b] = paths.try_into().map_err(|p: Vec<PathBuf>| {
+        format!("diff takes exactly two report paths (got {})", p.len())
+    })?;
+    Ok(DiffArgs { a, b, opts })
+}
+
+/// Parses the sweep-runner argument list (without the program name).
 pub fn parse_args(args: &[String]) -> Result<LabArgs, String> {
     let mut out = LabArgs::default();
     let mut scale = None;
@@ -102,6 +183,16 @@ pub fn parse_args(args: &[String]) -> Result<LabArgs, String> {
             "-h" | "--help" => return Err(String::new()),
             "list" => out.list = true,
             "all" => out.presets = PRESETS.to_vec(),
+            "--preset" => {
+                let name = value("--preset")?;
+                let p = Preset::parse(name).ok_or_else(|| format!("unknown preset: {name}"))?;
+                if !out.presets.contains(&p) {
+                    out.presets.push(p);
+                }
+            }
+            "--seeds" => {
+                out.seeds = (parse_u64(value("--seeds")?)? as u32).max(1);
+            }
             "--jobs" => out.jobs = parse_u64(value("--jobs")?)? as usize,
             "--quick" => quick = true,
             "--scale" => {
@@ -165,7 +256,7 @@ pub fn parse_args(args: &[String]) -> Result<LabArgs, String> {
 fn preset_specs(preset: Preset, args: &LabArgs) -> Vec<CellSpec> {
     let mut grid = preset.grid();
     if let Some(f) = args.frag {
-        grid.fragmentations = vec![f];
+        grid.fmfi = FmfiAxis::Pinned(f);
     }
     grid.expand(&args.tuning)
 }
@@ -186,7 +277,36 @@ pub fn union_specs(args: &LabArgs) -> Vec<CellSpec> {
     union
 }
 
-/// Runs the parsed command. Returns the process exit code.
+/// Runs a parsed [`Command`]. Returns the process exit code.
+pub fn run_command(cmd: &Command) -> i32 {
+    match cmd {
+        Command::Lab(args) => run(args),
+        Command::Diff(args) => run_diff(args),
+    }
+}
+
+/// Runs `mehpt-lab diff`: 0 when the reports agree within tolerance,
+/// 1 on drift, 2 when a report cannot be read or parsed.
+pub fn run_diff(args: &DiffArgs) -> i32 {
+    let read = |path: &Path| -> Result<String, String> {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+    };
+    let result = read(&args.a)
+        .and_then(|a| Ok((a, read(&args.b)?)))
+        .and_then(|(a, b)| diff_texts(&a, &b, &args.opts));
+    match result {
+        Ok(diff) => {
+            print!("{}", diff.render());
+            i32::from(!diff.clean())
+        }
+        Err(e) => {
+            eprintln!("mehpt-lab diff: {e}");
+            2
+        }
+    }
+}
+
+/// Runs the parsed sweep command. Returns the process exit code.
 pub fn run(args: &LabArgs) -> i32 {
     if args.list {
         println!("{:<8} {:>6}  {}", "PRESET", "CELLS", "TITLE");
@@ -200,14 +320,18 @@ pub fn run(args: &LabArgs) -> i32 {
     mute_worker_panics();
     let union = union_specs(args);
     eprintln!(
-        "mehpt-lab: {} cell(s) across {} preset(s), scale {}, seed {:#x}",
+        "mehpt-lab: {} cell(s) x {} seed(s) across {} preset(s), scale {}, seed {:#x}",
         union.len(),
+        args.seeds.max(1),
         args.presets.len(),
         args.tuning.scale,
         args.tuning.base_seed
     );
 
-    let opts = RunOptions { jobs: args.jobs };
+    let opts = RunOptions {
+        jobs: args.jobs,
+        seeds: args.seeds,
+    };
     let progress = |p: Progress| {
         let mut err = std::io::stderr().lock();
         let _ = writeln!(
@@ -249,6 +373,7 @@ pub fn run(args: &LabArgs) -> i32 {
             preset: preset.name().to_string(),
             scale: args.tuning.scale,
             base_seed: args.tuning.base_seed,
+            seeds: args.seeds.max(1),
             cells,
         };
         any_failed |= report.counts().2 > 0;
@@ -282,9 +407,25 @@ fn summarize(results: &[crate::report::CellResult]) -> (usize, usize, usize) {
 fn write_reports(preset: Preset, report: &LabReport, args: &LabArgs) -> std::io::Result<()> {
     let dir = args.out.join(preset.name());
     std::fs::create_dir_all(&dir)?;
-    std::fs::write(dir.join("report.json"), report.to_json())?;
-    std::fs::write(dir.join("report.csv"), report.to_csv())?;
+    write_atomic(&dir.join("report.json"), &report.to_json())?;
+    write_atomic(&dir.join("report.csv"), &report.to_csv())?;
     Ok(())
+}
+
+/// Writes via a same-directory temp file + rename, so a crash mid-write
+/// (or a concurrent reader) never observes a truncated report.
+fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, contents)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
 }
 
 /// Silences the default "thread panicked" message for engine workers: a
@@ -364,5 +505,105 @@ mod tests {
         a.tuning = Tuning::quick();
         // table1: radix+ecpt (44); fig8 adds mehpt cells (22) and shares ecpt.
         assert_eq!(union_specs(&a).len(), 66);
+    }
+
+    fn command(args: &[&str]) -> Result<Command, String> {
+        parse_command(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn run_word_and_preset_flag_and_seeds() {
+        let Ok(Command::Lab(a)) = command(&["run", "--preset", "fig7", "--seeds", "5"]) else {
+            panic!("expected a lab command");
+        };
+        assert_eq!(a.presets, vec![Preset::Fig7]);
+        assert_eq!(a.seeds, 5);
+        // Bare presets still work without the `run` word; --seeds 0 clamps.
+        let Ok(Command::Lab(b)) = command(&["fig7", "--seeds", "0"]) else {
+            panic!("expected a lab command");
+        };
+        assert_eq!(b.presets, vec![Preset::Fig7]);
+        assert_eq!(b.seeds, 1);
+        assert!(command(&["--preset", "fig99"]).is_err());
+    }
+
+    #[test]
+    fn diff_subcommand_parses_paths_and_tolerances() {
+        let Ok(Command::Diff(d)) = command(&[
+            "diff",
+            "a.json",
+            "b.json",
+            "--abs-tol",
+            "0.5",
+            "--rel-tol",
+            "0.01",
+            "--no-ci",
+        ]) else {
+            panic!("expected a diff command");
+        };
+        assert_eq!(d.a, PathBuf::from("a.json"));
+        assert_eq!(d.b, PathBuf::from("b.json"));
+        assert_eq!(d.opts.abs_tol, 0.5);
+        assert_eq!(d.opts.rel_tol, 0.01);
+        assert!(!d.opts.ci_overlap);
+        assert!(command(&["diff", "a.json"]).is_err());
+        assert!(command(&["diff", "a.json", "b.json", "c.json"]).is_err());
+        assert!(command(&["diff", "a.json", "b.json", "--abs-tol", "-1"]).is_err());
+        assert!(command(&["diff", "a.json", "b.json", "--wat"]).is_err());
+    }
+
+    #[test]
+    fn diffing_a_written_report_against_itself_is_clean() {
+        let dir = std::env::temp_dir().join(format!("mehpt-diff-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        let grid = crate::grid::ExperimentGrid::paper(
+            vec![App::Mummer],
+            vec![mehpt_sim::PtKind::MeHpt],
+            vec![false],
+        );
+        let t = Tuning {
+            scale: 0.002,
+            ..Tuning::quick()
+        };
+        let cells = engine::run_cells(&grid.expand(&t), &RunOptions::with_jobs(1), &|_| {});
+        let report = LabReport {
+            preset: "t".into(),
+            scale: t.scale,
+            base_seed: t.base_seed,
+            seeds: 1,
+            cells,
+        };
+        std::fs::write(&path, report.to_json()).unwrap();
+        let d = DiffArgs {
+            a: path.clone(),
+            b: path.clone(),
+            opts: DiffOptions::default(),
+        };
+        assert_eq!(run_diff(&d), 0);
+        assert_eq!(
+            run_diff(&DiffArgs {
+                a: dir.join("nope.json"),
+                ..d
+            }),
+            2
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_writes_leave_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("mehpt-atomic-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        write_atomic(&path, "{}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{}");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

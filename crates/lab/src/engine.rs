@@ -5,11 +5,18 @@
 //! any number of worker threads and still produce the *same* results: the
 //! output vector is ordered by cell index, every cell's randomness derives
 //! from its identity, and wall-clock time never enters the serialized
-//! report. Workers claim cells off a shared counter (work stealing in its
-//! simplest form: an idle worker takes the next unclaimed cell, so long
-//! cells never serialize the queue behind them), and every cell body runs
+//! report. Workers claim work units off a shared counter (work stealing in
+//! its simplest form: an idle worker takes the next unclaimed unit, so long
+//! cells never serialize the queue behind them), and every unit body runs
 //! under [`std::panic::catch_unwind`] — a panicking simulation marks that
-//! one cell [`CellStatus::Failed`] instead of killing the sweep.
+//! one replicate [`CellStatus::Failed`] instead of killing the sweep.
+//!
+//! With `seeds > 1` in [`RunOptions`], each cell fans out into that many
+//! replicate units (identity-derived seeds via
+//! [`CellSpec::replicate_seed`]), scheduled independently across the pool;
+//! the per-cell replicates are then folded into one [`CellResult`] whose
+//! order-invariant aggregation keeps reports byte-identical for every
+//! `--jobs` value.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -19,7 +26,7 @@ use std::time::Instant;
 use mehpt_sim::{SimReport, Simulator};
 
 use crate::grid::CellSpec;
-use crate::report::{CellMetrics, CellResult, CellStatus};
+use crate::report::{CellMetrics, CellResult, CellStatus, RepResult};
 
 /// Name prefix of the engine's worker threads. The CLI's panic hook uses
 /// it to mute the default "thread panicked" noise for isolated cells.
@@ -31,15 +38,15 @@ pub const WORKER_THREAD_PREFIX: &str = "mehpt-lab-worker";
 /// the human-facing progress stream sees them, never the report.
 #[derive(Clone, Debug)]
 pub struct Progress {
-    /// Cells finished so far (including this one).
+    /// Work units (cell replicates) finished so far (including this one).
     pub done: usize,
-    /// Total cells in the sweep.
+    /// Total work units in the sweep (`cells × seeds`).
     pub total: usize,
-    /// The finished cell's identity.
+    /// The finished cell's identity (suffixed `#rN` for replicates > 0).
     pub id: String,
-    /// The finished cell's status.
+    /// The finished replicate's status.
     pub status: CellStatus,
-    /// Wall-clock milliseconds the cell took.
+    /// Wall-clock milliseconds the replicate took.
     pub wall_millis: u64,
 }
 
@@ -48,22 +55,37 @@ pub struct Progress {
 pub struct RunOptions {
     /// Worker threads. `0` means [`std::thread::available_parallelism`].
     pub jobs: usize,
+    /// Replicates per cell (each under its identity-derived seed).
+    /// `0` is normalized to 1.
+    pub seeds: u32,
 }
 
 impl Default for RunOptions {
     fn default() -> RunOptions {
-        RunOptions { jobs: 0 }
+        RunOptions { jobs: 0, seeds: 1 }
     }
 }
 
 impl RunOptions {
-    fn effective_jobs(&self, cells: usize) -> usize {
+    /// Options for `jobs` workers at the default single replicate.
+    pub fn with_jobs(jobs: usize) -> RunOptions {
+        RunOptions {
+            jobs,
+            ..RunOptions::default()
+        }
+    }
+
+    fn effective_jobs(&self, units: usize) -> usize {
         let jobs = if self.jobs == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
             self.jobs
         };
-        jobs.clamp(1, cells.max(1))
+        jobs.clamp(1, units.max(1))
+    }
+
+    fn effective_seeds(&self) -> u32 {
+        self.seeds.max(1)
     }
 }
 
@@ -82,15 +104,18 @@ pub fn run_cells(
     run_cells_with(specs, opts, simulate_cell, progress)
 }
 
-/// Runs every cell on a pool of `opts.jobs` workers with a caller-supplied
-/// cell body, and returns results in spec order.
+/// Runs every cell (× `opts.seeds` replicates) on a pool of `opts.jobs`
+/// workers with a caller-supplied cell body, and returns results in spec
+/// order.
 ///
-/// The body runs under `catch_unwind`: a panic fails that cell (status
-/// [`CellStatus::Failed`], the panic message as `error`) and the sweep
-/// continues. A completed simulation whose report says `aborted` maps to
-/// [`CellStatus::Aborted`] with metrics preserved — that is a *modeled*
-/// outcome (the paper's ECPT runs dying above 0.7 FMFI), not a harness
-/// failure.
+/// The body runs under `catch_unwind`: a panic fails that replicate
+/// (status [`CellStatus::Failed`], the panic message as `error`) and the
+/// sweep continues. A completed simulation whose report says `aborted`
+/// maps to [`CellStatus::Aborted`] with metrics preserved — that is a
+/// *modeled* outcome (the paper's ECPT runs dying above 0.7 FMFI), not a
+/// harness failure. Replicates of one cell are independent work units;
+/// their outcomes fold into the cell's [`CellResult`] with order-invariant
+/// mean/min/max/CI aggregation.
 pub fn run_cells_with<F>(
     specs: &[CellSpec],
     opts: &RunOptions,
@@ -100,50 +125,68 @@ pub fn run_cells_with<F>(
 where
     F: Fn(&CellSpec) -> SimReport + Sync,
 {
-    let jobs = opts.effective_jobs(specs.len());
+    let seeds = opts.effective_seeds() as usize;
+    let units = specs.len() * seeds;
+    let jobs = opts.effective_jobs(units);
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, CellResult)>();
+    let (tx, rx) = mpsc::channel::<(usize, RepResult)>();
     let runner = &runner;
     let next = &next;
 
-    let mut slots: Vec<Option<CellResult>> = (0..specs.len()).map(|_| None).collect();
+    let mut slots: Vec<Vec<Option<RepResult>>> =
+        (0..specs.len()).map(|_| vec![None; seeds]).collect();
     std::thread::scope(|scope| {
         for worker in 0..jobs {
             let tx = tx.clone();
             std::thread::Builder::new()
                 .name(format!("{WORKER_THREAD_PREFIX}-{worker}"))
                 .spawn_scoped(scope, move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(spec) = specs.get(i) else { break };
-                    let result = execute(spec, runner);
-                    if tx.send((i, result)).is_err() {
+                    let u = next.fetch_add(1, Ordering::Relaxed);
+                    if u >= units {
+                        break;
+                    }
+                    let (cell, rep) = (u / seeds, (u % seeds) as u32);
+                    let result = execute(&specs[cell].replicate(rep), rep, runner);
+                    if tx.send((cell, result)).is_err() {
                         break;
                     }
                 })
                 .expect("spawn lab worker");
         }
         drop(tx);
-        let total = specs.len();
         let mut done = 0;
-        while let Ok((i, result)) = rx.recv() {
+        while let Ok((cell, result)) = rx.recv() {
             done += 1;
+            let id = if result.replicate == 0 {
+                specs[cell].id()
+            } else {
+                format!("{}#r{}", specs[cell].id(), result.replicate)
+            };
             progress(Progress {
                 done,
-                total,
-                id: result.spec.id(),
+                total: units,
+                id,
                 status: result.status,
                 wall_millis: result.wall_millis,
             });
-            slots[i] = Some(result);
+            let rep = result.replicate as usize;
+            slots[cell][rep] = Some(result);
         }
     });
-    slots
-        .into_iter()
-        .map(|s| s.expect("every cell produces a result"))
+    specs
+        .iter()
+        .zip(slots)
+        .map(|(spec, reps)| {
+            let reps = reps
+                .into_iter()
+                .map(|r| r.expect("every replicate produces a result"))
+                .collect();
+            CellResult::from_replicates(spec.clone(), reps)
+        })
         .collect()
 }
 
-fn execute<F>(spec: &CellSpec, runner: &F) -> CellResult
+fn execute<F>(spec: &CellSpec, replicate: u32, runner: &F) -> RepResult
 where
     F: Fn(&CellSpec) -> SimReport + Sync,
 {
@@ -157,16 +200,18 @@ where
             } else {
                 CellStatus::Ok
             };
-            CellResult {
-                spec: spec.clone(),
+            RepResult {
+                replicate,
+                seed: spec.seed,
                 status,
                 error: report.aborted.clone(),
                 metrics: Some(CellMetrics::from(&report)),
                 wall_millis,
             }
         }
-        Err(panic) => CellResult {
-            spec: spec.clone(),
+        Err(panic) => RepResult {
+            replicate,
+            seed: spec.seed,
             status: CellStatus::Failed,
             error: Some(panic_message(panic.as_ref())),
             metrics: None,
@@ -244,8 +289,8 @@ mod tests {
     #[test]
     fn parallel_and_serial_runs_are_identical() {
         let specs = specs();
-        let serial = run_cells_with(&specs, &RunOptions { jobs: 1 }, fake_sim, &|_| {});
-        let parallel = run_cells_with(&specs, &RunOptions { jobs: 8 }, fake_sim, &|_| {});
+        let serial = run_cells_with(&specs, &RunOptions::with_jobs(1), fake_sim, &|_| {});
+        let parallel = run_cells_with(&specs, &RunOptions::with_jobs(8), fake_sim, &|_| {});
         assert_eq!(serial.len(), parallel.len());
         for (a, b) in serial.iter().zip(&parallel) {
             assert_eq!(a.spec, b.spec);
@@ -263,7 +308,7 @@ mod tests {
             }
             fake_sim(spec)
         };
-        let results = run_cells_with(&specs, &RunOptions { jobs: 4 }, bomb, &|_| {});
+        let results = run_cells_with(&specs, &RunOptions::with_jobs(4), bomb, &|_| {});
         let failed: Vec<_> = results
             .iter()
             .filter(|r| r.status == CellStatus::Failed)
@@ -285,7 +330,7 @@ mod tests {
         use std::sync::Mutex;
         let specs = specs();
         let seen = Mutex::new(Vec::new());
-        run_cells_with(&specs, &RunOptions { jobs: 3 }, fake_sim, &|p| {
+        run_cells_with(&specs, &RunOptions::with_jobs(3), fake_sim, &|p| {
             seen.lock().unwrap().push((p.done, p.id));
         });
         let mut seen = seen.into_inner().unwrap();
@@ -299,11 +344,60 @@ mod tests {
     }
 
     #[test]
+    fn replicated_runs_aggregate_and_stay_deterministic_across_jobs() {
+        let specs = specs();
+        let opts = |jobs| RunOptions { jobs, seeds: 3 };
+        let serial = run_cells_with(&specs, &opts(1), fake_sim, &|_| {});
+        let parallel = run_cells_with(&specs, &opts(7), fake_sim, &|_| {});
+        assert_eq!(serial.len(), specs.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.stats, b.stats, "aggregation must not depend on --jobs");
+            assert_eq!(a.metrics, b.metrics);
+        }
+        let cell = &serial[0];
+        assert_eq!(cell.replicates.len(), 3);
+        // fake_sim is a pure function of the seed, and replicate seeds
+        // differ, so the replicates measure different cycle counts.
+        let cycles: std::collections::HashSet<u64> = cell
+            .replicates
+            .iter()
+            .map(|r| r.metrics.as_ref().unwrap().total_cycles)
+            .collect();
+        assert_eq!(cycles.len(), 3);
+        let st = cell.stats.as_ref().unwrap();
+        assert_eq!(st.replicates, 3);
+        let cyc = st.field("total_cycles").unwrap();
+        assert!(cyc.min < cyc.mean && cyc.mean < cyc.max);
+        assert!(cyc.ci95 > 0.0);
+        // Replicate 0 of a seeds=3 run is the whole seeds=1 run.
+        let single = run_cells_with(&specs, &RunOptions::with_jobs(2), fake_sim, &|_| {});
+        assert_eq!(single[0].metrics, serial[0].metrics);
+    }
+
+    #[test]
+    fn replicated_progress_counts_units() {
+        use std::sync::Mutex;
+        let specs = specs();
+        let seen = Mutex::new(Vec::new());
+        run_cells_with(&specs, &RunOptions { jobs: 4, seeds: 2 }, fake_sim, &|p| {
+            seen.lock().unwrap().push((p.total, p.id));
+        });
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 2 * specs.len());
+        assert!(seen.iter().all(|(t, _)| *t == 2 * specs.len()));
+        assert_eq!(
+            seen.iter().filter(|(_, id)| id.ends_with("#r1")).count(),
+            specs.len()
+        );
+    }
+
+    #[test]
     fn zero_jobs_means_available_parallelism() {
-        let opts = RunOptions { jobs: 0 };
+        let opts = RunOptions::with_jobs(0);
         assert!(opts.effective_jobs(1000) >= 1);
         assert_eq!(opts.effective_jobs(0), 1);
-        assert_eq!(RunOptions { jobs: 64 }.effective_jobs(4), 4);
+        assert_eq!(RunOptions::with_jobs(64).effective_jobs(4), 4);
     }
 
     #[test]
@@ -312,7 +406,7 @@ mod tests {
         let mut tuning = Tuning::quick();
         tuning.scale = 0.002;
         let specs = grid.expand(&tuning);
-        let results = run_cells(&specs, &RunOptions { jobs: 1 }, &|_| {});
+        let results = run_cells(&specs, &RunOptions::with_jobs(1), &|_| {});
         assert_eq!(results.len(), 1);
         assert_eq!(results[0].status, CellStatus::Ok);
         let m = results[0].metrics.as_ref().unwrap();

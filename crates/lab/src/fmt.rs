@@ -19,6 +19,16 @@ pub fn fmt_mb(bytes: u64) -> String {
     format!("{:.1}", bytes as f64 / (1 << 20) as f64)
 }
 
+/// Formats a mean with its 95% confidence half-width (`12.3±0.4`); the
+/// band is omitted when it is zero (single-seed runs).
+pub fn fmt_ci(mean: f64, ci95: f64) -> String {
+    if ci95 > 0.0 {
+        format!("{mean:.1}±{ci95:.1}")
+    } else {
+        format!("{mean:.1}")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -33,5 +43,11 @@ mod tests {
     fn mb_formatting() {
         assert_eq!(fmt_mb(1 << 20), "1.0");
         assert_eq!(fmt_mb(3 << 19), "1.5");
+    }
+
+    #[test]
+    fn ci_formatting_drops_zero_bands() {
+        assert_eq!(fmt_ci(12.34, 0.46), "12.3±0.5");
+        assert_eq!(fmt_ci(12.34, 0.0), "12.3");
     }
 }

@@ -1,4 +1,13 @@
 //! Declarative experiment grids and their expansion into runnable cells.
+//!
+//! A grid is the cross product of every axis the paper's evaluation
+//! sweeps: application × page-table kind × THP × design variant ×
+//! fragmentation ([`FmfiAxis`]) × graph size. Expansion produces
+//! self-contained [`CellSpec`]s whose randomness derives from the cell
+//! *identity* (not its grid position), so adding, removing or reordering
+//! cells never perturbs any other cell — and replicate seeds
+//! ([`CellSpec::replicate_seed`]) extend the same guarantee to multi-seed
+//! sweeps.
 
 use mehpt_core::{ChunkSizePolicy, MeHptConfig};
 use mehpt_sim::{PtKind, SimConfig};
@@ -68,6 +77,39 @@ impl Variant {
                 chunk_policy: ChunkSizePolicy::fixed(1 << 20),
                 ..base
             },
+        }
+    }
+}
+
+/// The fragmentation (FMFI) axis of a grid: either pinned at one level
+/// (the paper's default 0.7) or swept across several (Fig. 7-style
+/// fragmentation curves).
+#[derive(Clone, Debug, PartialEq)]
+pub enum FmfiAxis {
+    /// One fragmentation level for every cell.
+    Pinned(f64),
+    /// An explicit list of FMFI points, one sub-grid per point.
+    Points(Vec<f64>),
+}
+
+impl FmfiAxis {
+    /// The paper's evaluation default: everything pinned at 0.7 FMFI.
+    pub fn paper() -> FmfiAxis {
+        FmfiAxis::Pinned(0.7)
+    }
+
+    /// The paper's fragmentation sweep: FMFI 0.0 → 0.9 in 0.1 steps
+    /// (shared with the fragmenter, so the grid and the memory model
+    /// agree on the exact points).
+    pub fn sweep() -> FmfiAxis {
+        FmfiAxis::Points(mehpt_mem::Fragmenter::SWEEP_FMFI.to_vec())
+    }
+
+    /// The axis as a list of FMFI points, in sweep order.
+    pub fn points(&self) -> Vec<f64> {
+        match self {
+            FmfiAxis::Pinned(f) => vec![*f],
+            FmfiAxis::Points(v) => v.clone(),
         }
     }
 }
@@ -177,6 +219,29 @@ impl CellSpec {
             graph_nodes: self.graph_nodes,
         })
     }
+
+    /// The seed of replicate `r` of this cell.
+    ///
+    /// Replicate 0 *is* the cell seed, so single-seed sweeps are unchanged
+    /// by the replication axis; higher replicates derive from the cell
+    /// seed and the replicate index only — independent of `--jobs`, of the
+    /// grid shape, and of how many replicates run.
+    pub fn replicate_seed(&self, r: u32) -> u64 {
+        if r == 0 {
+            self.seed
+        } else {
+            cell_seed(self.seed, &format!("replicate-{r}"))
+        }
+    }
+
+    /// A copy of this spec re-seeded for replicate `r` (what the engine
+    /// actually simulates).
+    pub fn replicate(&self, r: u32) -> CellSpec {
+        CellSpec {
+            seed: self.replicate_seed(r),
+            ..self.clone()
+        }
+    }
 }
 
 /// Derives the deterministic seed of the cell named `id` under `base_seed`.
@@ -206,8 +271,8 @@ pub struct ExperimentGrid {
     /// ME-HPT variants (applied to [`PtKind::MeHpt`] cells only; other
     /// kinds always run a single cell per point).
     pub variants: Vec<Variant>,
-    /// Fragmentation (FMFI) levels.
-    pub fragmentations: Vec<f64>,
+    /// The fragmentation (FMFI) axis: pinned or a Fig. 7-style sweep.
+    pub fmfi: FmfiAxis,
     /// Graph sizes (GraphBIG apps only; non-graph apps ignore the value
     /// but still run once per entry, so keep this axis at one value unless
     /// the grid is graph-only).
@@ -222,7 +287,7 @@ impl ExperimentGrid {
             kinds,
             thps,
             variants: vec![Variant::Full],
-            fragmentations: vec![0.7],
+            fmfi: FmfiAxis::paper(),
             graph_nodes: vec![1_000_000],
         }
     }
@@ -233,6 +298,7 @@ impl ExperimentGrid {
     pub fn expand(&self, tuning: &Tuning) -> Vec<CellSpec> {
         let mut cells = Vec::new();
         let mut seen = std::collections::HashSet::new();
+        let fragmentations = self.fmfi.points();
         for &app in &self.apps {
             for &graph_nodes in &self.graph_nodes {
                 for &kind in &self.kinds {
@@ -243,7 +309,7 @@ impl ExperimentGrid {
                     };
                     for &variant in variants {
                         for &thp in &self.thps {
-                            for &fragmentation in &self.fragmentations {
+                            for &fragmentation in &fragmentations {
                                 let mut spec = CellSpec {
                                     app,
                                     kind,
@@ -321,6 +387,33 @@ mod tests {
         let bfs_wide = wide.iter().find(|c| c.app == App::Bfs).unwrap();
         assert_eq!(bfs_wide.seed, narrow[0].seed);
         assert_ne!(wide[0].seed, wide[1].seed);
+    }
+
+    #[test]
+    fn fmfi_sweep_multiplies_cells_and_keeps_ids_unique() {
+        let mut grid = ExperimentGrid::paper(vec![App::Gups], vec![PtKind::MeHpt], vec![false]);
+        let pinned = grid.expand(&Tuning::quick()).len();
+        grid.fmfi = FmfiAxis::sweep();
+        let swept = grid.expand(&Tuning::quick());
+        assert_eq!(swept.len(), pinned * FmfiAxis::sweep().points().len());
+        let ids: std::collections::HashSet<String> = swept.iter().map(|c| c.id()).collect();
+        assert_eq!(ids.len(), swept.len());
+        assert!((swept[0].fragmentation - 0.0).abs() < 1e-12);
+        assert!((swept.last().unwrap().fragmentation - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replicate_seeds_are_stable_and_distinct() {
+        let grid = ExperimentGrid::paper(vec![App::Gups], vec![PtKind::MeHpt], vec![false]);
+        let cell = &grid.expand(&Tuning::quick())[0];
+        assert_eq!(cell.replicate_seed(0), cell.seed, "replicate 0 is the cell");
+        assert_eq!(cell.replicate_seed(3), cell.replicate_seed(3));
+        let seeds: std::collections::HashSet<u64> =
+            (0..16).map(|r| cell.replicate_seed(r)).collect();
+        assert_eq!(seeds.len(), 16);
+        let rep = cell.replicate(2);
+        assert_eq!(rep.id(), cell.id(), "replicates share the cell identity");
+        assert_ne!(rep.seed, cell.seed);
     }
 
     #[test]

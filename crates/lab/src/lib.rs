@@ -1,22 +1,25 @@
 //! # mehpt-lab — parallel, deterministic experiment execution
 //!
-//! The lab turns the paper's evaluation (Tables I–II, Figures 8–16) into
+//! The lab turns the paper's evaluation (Tables I–II, Figures 7–16) into
 //! declarative experiment grids and runs them on a work-stealing thread
 //! pool with three guarantees:
 //!
 //! 1. **Determinism.** Every cell's randomness derives from its identity
-//!    string and the base seed, results are ordered by grid position, and
+//!    string and the base seed (replicate seeds from the cell seed and the
+//!    replicate index), results are ordered by grid position, and
 //!    wall-clock time never enters a report — `--jobs 1` and `--jobs 8`
-//!    write byte-identical JSON and CSV.
-//! 2. **Panic isolation.** Each cell runs under `catch_unwind`; one
+//!    write byte-identical JSON and CSV, which `mehpt-lab diff` verifies.
+//! 2. **Panic isolation.** Each replicate runs under `catch_unwind`; one
 //!    crashing simulation marks that cell `failed` in the report while the
 //!    rest of the sweep completes.
-//! 3. **Structured output.** Per-cell progress streams to stderr; rendered
-//!    paper tables go to stdout; machine-readable `report.json` and
-//!    `report.csv` land under `target/lab/<preset>/`.
+//! 3. **Structured output.** Per-replicate progress streams to stderr;
+//!    rendered paper tables go to stdout; machine-readable `report.json`
+//!    and `report.csv` (schema v2: per-cell replicate outcomes plus
+//!    mean/min/max/95% CI aggregates) land atomically under
+//!    `target/lab/<preset>/`.
 //!
 //! Everything is std-only: the workspace builds with no crates-io
-//! dependencies (JSON is hand-rolled in [`json`]).
+//! dependencies (JSON — writer *and* parser — is hand-rolled in [`json`]).
 //!
 //! ```no_run
 //! use mehpt_lab::engine::{run_cells, RunOptions};
@@ -32,20 +35,25 @@
 //!     preset: "fig16".into(),
 //!     scale: 0.005,
 //!     base_seed: 0x5eed,
+//!     seeds: 1,
 //!     cells,
 //! };
 //! print!("{}", Preset::Fig16.render(&report));
 //! ```
 
 pub mod cli;
+pub mod diff;
 pub mod engine;
 pub mod fmt;
 pub mod grid;
 pub mod json;
 pub mod presets;
 pub mod report;
+pub mod stats;
 
+pub use diff::{DiffOptions, DiffReport};
 pub use engine::{run_cells, run_cells_with, Progress, RunOptions};
-pub use grid::{CellSpec, ExperimentGrid, Tuning, Variant};
+pub use grid::{CellSpec, ExperimentGrid, FmfiAxis, Tuning, Variant};
 pub use presets::{Preset, PRESETS};
-pub use report::{CellMetrics, CellResult, CellStatus, LabReport};
+pub use report::{CellMetrics, CellResult, CellStatus, LabReport, RepResult, SCHEMA_VERSION};
+pub use stats::{CellStats, MetricStats};

@@ -13,9 +13,9 @@ use mehpt_sim::PtKind;
 use mehpt_types::PageSize;
 use mehpt_workloads::App;
 
-use crate::fmt::{fmt_bytes, fmt_mb, geomean};
-use crate::grid::{ExperimentGrid, Variant};
-use crate::report::LabReport;
+use crate::fmt::{fmt_bytes, fmt_ci, fmt_mb, geomean};
+use crate::grid::{ExperimentGrid, FmfiAxis, Variant};
+use crate::report::{CellStatus, LabReport};
 
 /// A named experiment preset.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -24,6 +24,8 @@ pub enum Preset {
     Table1,
     /// Table II — max way sizes and mapping space per chunk size (analytic).
     Table2,
+    /// Figure 7 — performance across the fragmentation (FMFI) sweep.
+    Fig7,
     /// Figure 8 — maximum contiguous HPT allocation.
     Fig8,
     /// Figure 9 — speedup over radix without THP.
@@ -45,9 +47,10 @@ pub enum Preset {
 }
 
 /// Every preset, in the paper's order.
-pub const PRESETS: [Preset; 11] = [
+pub const PRESETS: [Preset; 12] = [
     Preset::Table1,
     Preset::Table2,
+    Preset::Fig7,
     Preset::Fig8,
     Preset::Fig9,
     Preset::Fig10,
@@ -65,6 +68,7 @@ impl Preset {
         match self {
             Preset::Table1 => "table1",
             Preset::Table2 => "table2",
+            Preset::Fig7 => "fig7",
             Preset::Fig8 => "fig8",
             Preset::Fig9 => "fig9",
             Preset::Fig10 => "fig10",
@@ -87,6 +91,7 @@ impl Preset {
         match self {
             Preset::Table1 => "Table I: Memory consumption of our applications",
             Preset::Table2 => "Table II: Maximum HPT way sizes and mapping space per chunk size",
+            Preset::Fig7 => "Figure 7: Cycles per access across the fragmentation sweep",
             Preset::Fig8 => "Figure 8: Maximum contiguous memory allocated for the HPTs",
             Preset::Fig9 => "Figure 9: Speedup over Radix (no THP)",
             Preset::Fig10 => "Figure 10: Page-table memory reduction over ECPT, by technique",
@@ -106,6 +111,15 @@ impl Preset {
         match self {
             Preset::Table1 => ExperimentGrid::paper(all, vec![PtKind::Radix, PtKind::Ecpt], both),
             Preset::Table2 => ExperimentGrid::paper(vec![], vec![], vec![]),
+            Preset::Fig7 => {
+                let mut grid = ExperimentGrid::paper(
+                    vec![App::Gups, App::Bfs, App::Mummer],
+                    vec![PtKind::Ecpt, PtKind::MeHpt],
+                    vec![false],
+                );
+                grid.fmfi = FmfiAxis::sweep();
+                grid
+            }
             Preset::Fig8 => ExperimentGrid::paper(all, vec![PtKind::Ecpt, PtKind::MeHpt], both),
             Preset::Fig9 => {
                 ExperimentGrid::paper(all, vec![PtKind::Radix, PtKind::Ecpt, PtKind::MeHpt], both)
@@ -148,6 +162,7 @@ impl Preset {
         match self {
             Preset::Table1 => render_table1(report, &mut out),
             Preset::Table2 => render_table2(&mut out),
+            Preset::Fig7 => render_fig7(report, &mut out),
             Preset::Fig8 => render_fig8(report, &mut out),
             Preset::Fig9 => render_fig9(report, &mut out),
             Preset::Fig10 => render_fig10(report, &mut out),
@@ -273,6 +288,87 @@ fn render_table2(out: &mut String) {
         out,
         "       8MB→512MB way, 768GB / 384TB; 64MB→4GB way, 6TB / 3PB."
     );
+}
+
+fn render_fig7(r: &LabReport, out: &mut String) {
+    // One column per FMFI point, one row per app × kind. Cells print the
+    // cycles-per-access mean with its 95% CI band when the sweep ran with
+    // `--seeds > 1`; `abort` marks the modeled ECPT contiguous-allocation
+    // failure at high fragmentation.
+    let points = FmfiAxis::sweep().points();
+    let _ = write!(out, "{:<9} {:<7} |", "App", "PT");
+    for f in &points {
+        let _ = write!(out, " {:>9}", format!("f={f:.1}"));
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{}", "-".repeat(20 + 10 * points.len()));
+    let mut abort_onsets = Vec::new();
+    for app in [App::Gups, App::Bfs, App::Mummer] {
+        for (kind, label) in [(PtKind::Ecpt, "ECPT"), (PtKind::MeHpt, "ME-HPT")] {
+            let _ = write!(out, "{:<9} {:<7} |", app.name(), label);
+            let mut onset: Option<f64> = None;
+            for &f in &points {
+                let cell = r.cells.iter().find(|c| {
+                    c.spec.app == app
+                        && c.spec.kind == kind
+                        && !c.spec.thp
+                        && c.spec.variant == FULL
+                        && (c.spec.fragmentation - f).abs() < 1e-9
+                });
+                let text = match cell {
+                    Some(c) if c.status == CellStatus::Failed => "failed".to_string(),
+                    Some(c) => {
+                        let aborted = c.status == CellStatus::Aborted;
+                        if aborted && onset.is_none() {
+                            onset = Some(f);
+                        }
+                        match c.stats.as_ref().and_then(|s| s.field("cycles_per_access")) {
+                            Some(cpa) if !aborted => fmt_ci(cpa.mean, cpa.ci95),
+                            Some(cpa) => format!("{}*", fmt_ci(cpa.mean, cpa.ci95)),
+                            None => "abort".to_string(),
+                        }
+                    }
+                    None => "-".to_string(),
+                };
+                let _ = write!(out, " {text:>9}");
+            }
+            if let Some(f) = onset {
+                abort_onsets.push((app, label, f));
+            }
+            let _ = writeln!(out);
+        }
+    }
+    let _ = writeln!(out, "{}", "-".repeat(20 + 10 * points.len()));
+    if r.seeds > 1 {
+        let _ = writeln!(
+            out,
+            "Cells are cycles-per-access mean ± 95% CI over {} replicate seeds.",
+            r.seeds
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "Single-seed sweep; re-run with --seeds N for confidence bands."
+        );
+    }
+    for (app, label, f) in &abort_onsets {
+        let _ = writeln!(
+            out,
+            "{} {}: contiguous allocation fails from FMFI {f:.1} (*)",
+            app.name(),
+            label
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "Paper: ECPT's large contiguous ways stop fitting as fragmentation"
+    );
+    let _ = writeln!(
+        out,
+        "rises (abort past ~0.7 FMFI) while ME-HPT's chunked ways keep"
+    );
+    let _ = writeln!(out, "running with flat cycles-per-access.");
 }
 
 fn render_fig8(r: &LabReport, out: &mut String) {
@@ -854,6 +950,8 @@ mod tests {
         let t = Tuning::quick();
         assert_eq!(Preset::Table1.grid().expand(&t).len(), 44);
         assert_eq!(Preset::Table2.grid().expand(&t).len(), 0);
+        // 3 apps × 2 kinds × 10 FMFI points.
+        assert_eq!(Preset::Fig7.grid().expand(&t).len(), 60);
         assert_eq!(Preset::Fig8.grid().expand(&t).len(), 44);
         assert_eq!(Preset::Fig9.grid().expand(&t).len(), 66);
         // ECPT collapses to one variant: (1 + 3) × 11 apps × 2 thp.
@@ -870,6 +968,7 @@ mod tests {
             preset: "table2".into(),
             scale: 1.0,
             base_seed: 0x5eed,
+            seeds: 1,
             cells: vec![],
         };
         let s = Preset::Table2.render(&report);
@@ -883,6 +982,7 @@ mod tests {
             preset: "x".into(),
             scale: 1.0,
             base_seed: 0,
+            seeds: 1,
             cells: vec![],
         };
         for p in PRESETS {

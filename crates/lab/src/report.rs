@@ -1,9 +1,21 @@
 //! Cell results and the structured sweep report (JSON + CSV).
+//!
+//! Schema v2 (see [`SCHEMA_VERSION`]): a report carries the replication
+//! factor (`seeds`), each cell lists its per-replicate outcomes and an
+//! aggregated [`CellStats`] block (mean/min/max/95% CI per headline
+//! metric), and the whole document stays a pure function of the grid and
+//! the seeds — byte-identical for every `--jobs` value, diffable with
+//! `mehpt-lab diff`.
 
 use mehpt_sim::{PtKind, SimReport};
 
 use crate::grid::{CellSpec, Variant};
 use crate::json::Json;
+use crate::stats::CellStats;
+
+/// Version stamp of the serialized JSON report. Bumped to 2 when the
+/// replication axis added `seeds`, per-cell `replicates` and `stats`.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// How a cell ended.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -166,24 +178,99 @@ impl CellMetrics {
     }
 }
 
-/// The outcome of one cell.
+/// The outcome of one replicate of one cell.
+#[derive(Clone, Debug)]
+pub struct RepResult {
+    /// Replicate index (0-based; replicate 0 runs the cell seed itself).
+    pub replicate: u32,
+    /// The identity-derived seed this replicate simulated under.
+    pub seed: u64,
+    /// How this replicate ended.
+    pub status: CellStatus,
+    /// Abort reason or caught panic message, when not [`CellStatus::Ok`].
+    pub error: Option<String>,
+    /// The replicate's measurements ([`None`] after a panic).
+    pub metrics: Option<CellMetrics>,
+    /// Wall-clock milliseconds (progress stream only, never serialized).
+    pub wall_millis: u64,
+}
+
+impl RepResult {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("replicate", Json::UInt(self.replicate as u64)),
+            ("seed", Json::UInt(self.seed)),
+            ("status", Json::Str(self.status.label().to_string())),
+            (
+                "error",
+                match &self.error {
+                    Some(e) => Json::Str(e.clone()),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// The outcome of one cell: every replicate, plus the aggregate view.
 #[derive(Clone, Debug)]
 pub struct CellResult {
     /// What was run.
     pub spec: CellSpec,
-    /// How it ended.
+    /// Aggregate status: [`CellStatus::Failed`] if any replicate panicked,
+    /// else [`CellStatus::Aborted`] if any replicate hit a modeled abort,
+    /// else [`CellStatus::Ok`].
     pub status: CellStatus,
-    /// The abort reason or caught panic message, when not [`CellStatus::Ok`].
+    /// The first replicate error, when not [`CellStatus::Ok`].
     pub error: Option<String>,
-    /// The measurements ([`None`] for failed cells).
+    /// Replicate 0's measurements ([`None`] when it failed). The primary
+    /// replicate: single-seed sweeps and every table renderer read this.
     pub metrics: Option<CellMetrics>,
-    /// Wall-clock milliseconds the cell took. Streamed to progress output
-    /// and aggregated on stderr, but **never serialized** — reports must be
-    /// identical across `--jobs` settings.
+    /// Every replicate's outcome, in replicate order (length = `--seeds`).
+    pub replicates: Vec<RepResult>,
+    /// Mean/min/max/95% CI over the metric-bearing replicates ([`None`]
+    /// when every replicate failed).
+    pub stats: Option<CellStats>,
+    /// Total wall-clock milliseconds across replicates. Streamed to
+    /// progress output and aggregated on stderr, but **never serialized**
+    /// — reports must be identical across `--jobs` settings.
     pub wall_millis: u64,
 }
 
 impl CellResult {
+    /// Assembles a cell from its replicate outcomes (order-invariant: the
+    /// list is sorted by replicate index first, and stats aggregation
+    /// canonicalizes value order internally).
+    pub fn from_replicates(spec: CellSpec, mut reps: Vec<RepResult>) -> CellResult {
+        assert!(!reps.is_empty(), "a cell has at least one replicate");
+        reps.sort_by_key(|r| r.replicate);
+        let status = if reps.iter().any(|r| r.status == CellStatus::Failed) {
+            CellStatus::Failed
+        } else if reps.iter().any(|r| r.status == CellStatus::Aborted) {
+            CellStatus::Aborted
+        } else {
+            CellStatus::Ok
+        };
+        let error = reps.iter().find_map(|r| r.error.clone());
+        let metric_refs: Vec<&CellMetrics> =
+            reps.iter().filter_map(|r| r.metrics.as_ref()).collect();
+        let stats = CellStats::from_metrics(&metric_refs);
+        CellResult {
+            metrics: reps[0].metrics.clone(),
+            wall_millis: reps.iter().map(|r| r.wall_millis).sum(),
+            status,
+            error,
+            stats,
+            replicates: reps,
+            spec,
+        }
+    }
+
+    /// Convenience constructor for a single-replicate cell.
+    pub fn single(spec: CellSpec, rep: RepResult) -> CellResult {
+        CellResult::from_replicates(spec, vec![rep])
+    }
+
     fn to_json(&self) -> Json {
         let s = &self.spec;
         Json::obj(vec![
@@ -200,6 +287,17 @@ impl CellResult {
                 "error",
                 match &self.error {
                     Some(e) => Json::Str(e.clone()),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "replicates",
+                Json::Arr(self.replicates.iter().map(RepResult::to_json).collect()),
+            ),
+            (
+                "stats",
+                match &self.stats {
+                    Some(st) => st.to_json(),
                     None => Json::Null,
                 },
             ),
@@ -223,6 +321,8 @@ pub struct LabReport {
     pub scale: f64,
     /// The base seed the per-cell seeds derive from.
     pub base_seed: u64,
+    /// Replicates per cell (`--seeds`; 1 = the classic single-seed sweep).
+    pub seeds: u32,
     /// Per-cell outcomes, in grid-expansion order.
     pub cells: Vec<CellResult>,
 }
@@ -312,9 +412,11 @@ impl LabReport {
             .map(|m| m.accesses)
             .sum();
         Json::obj(vec![
+            ("schema_version", Json::UInt(SCHEMA_VERSION)),
             ("preset", Json::Str(self.preset.clone())),
             ("scale", Json::Num(self.scale)),
             ("base_seed", Json::UInt(self.base_seed)),
+            ("seeds", Json::UInt(self.seeds as u64)),
             (
                 "summary",
                 Json::obj(vec![
@@ -334,21 +436,30 @@ impl LabReport {
         .render()
     }
 
-    /// The CSV report: one row per cell with the headline metrics.
+    /// The CSV report: one row per cell with the headline metrics of the
+    /// primary replicate plus the aggregate mean/min/max/CI columns
+    /// (schema v2; empty aggregate columns for all-failed cells).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "id,app,kind,thp,variant,graph_nodes,fragmentation,seed,status,\
+            "id,app,kind,thp,variant,graph_nodes,fragmentation,seed,status,replicates,\
              accesses,total_cycles,faults,pages_4k,pages_2m,tlb_miss_rate,\
              walks,mean_walk_cycles,pt_final_bytes,pt_peak_bytes,\
-             pt_max_contiguous,l2p_entries_used,chunk_switches,error\n",
+             pt_max_contiguous,l2p_entries_used,chunk_switches,\
+             cpa_mean,cpa_min,cpa_max,cpa_ci95,\
+             total_cycles_mean,total_cycles_ci95,pt_peak_bytes_mean,pt_peak_bytes_ci95,\
+             error\n",
         );
         for cell in &self.cells {
             let s = &cell.spec;
             let m = cell.metrics.as_ref();
             let num = |f: Option<u64>| f.map(|v| v.to_string()).unwrap_or_default();
             let fnum = |f: Option<f64>| f.map(|v| format!("{v}")).unwrap_or_default();
+            let st = cell.stats.as_ref();
+            let cpa = st.and_then(|st| st.field("cycles_per_access")).copied();
+            let cyc = st.and_then(|st| st.field("total_cycles")).copied();
+            let peak = st.and_then(|st| st.field("pt_peak_bytes")).copied();
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 s.id(),
                 s.app.name(),
                 s.kind.label(),
@@ -358,6 +469,7 @@ impl LabReport {
                 s.fragmentation,
                 s.seed,
                 cell.status.label(),
+                cell.replicates.len(),
                 num(m.map(|m| m.accesses)),
                 num(m.map(|m| m.total_cycles)),
                 num(m.map(|m| m.faults)),
@@ -371,6 +483,14 @@ impl LabReport {
                 num(m.map(|m| m.pt_max_contiguous)),
                 num(m.map(|m| m.l2p_entries_used)),
                 num(m.map(|m| m.chunk_switches)),
+                fnum(cpa.map(|v| v.mean)),
+                fnum(cpa.map(|v| v.min)),
+                fnum(cpa.map(|v| v.max)),
+                fnum(cpa.map(|v| v.ci95)),
+                fnum(cyc.map(|v| v.mean)),
+                fnum(cyc.map(|v| v.ci95)),
+                fnum(peak.map(|v| v.mean)),
+                fnum(peak.map(|v| v.ci95)),
                 csv_escape(cell.error.as_deref().unwrap_or("")),
             ));
         }
@@ -430,22 +550,27 @@ mod tests {
             .expand(&Tuning::quick())
             .into_iter()
             .enumerate()
-            .map(|(i, spec)| CellResult {
-                spec,
-                status: if i == 0 {
-                    CellStatus::Ok
-                } else {
-                    CellStatus::Failed
-                },
-                error: (i != 0).then(|| "injected, with comma".to_string()),
-                metrics: (i == 0).then(|| fake_metrics(1000)),
-                wall_millis: 12 + i as u64,
+            .map(|(i, spec)| {
+                let rep = RepResult {
+                    replicate: 0,
+                    seed: spec.seed,
+                    status: if i == 0 {
+                        CellStatus::Ok
+                    } else {
+                        CellStatus::Failed
+                    },
+                    error: (i != 0).then(|| "injected, with comma".to_string()),
+                    metrics: (i == 0).then(|| fake_metrics(1000)),
+                    wall_millis: 12 + i as u64,
+                };
+                CellResult::single(spec, rep)
             })
             .collect();
         LabReport {
             preset: "test".into(),
             scale: 0.005,
             base_seed: 0x5eed,
+            seeds: 1,
             cells,
         }
     }
@@ -457,8 +582,52 @@ mod tests {
         a.cells[0].wall_millis = 1;
         b.cells[0].wall_millis = 99_999;
         assert_eq!(a.to_json(), b.to_json());
+        assert!(a.to_json().contains("\"schema_version\": 2"));
         assert!(a.to_json().contains("\"status\": \"failed\""));
         assert!(a.to_json().contains("\"metrics\": null"));
+        assert!(a.to_json().contains("\"stats\": null"));
+    }
+
+    #[test]
+    fn replicate_aggregation_summarizes_statuses_and_stats() {
+        let grid = ExperimentGrid::paper(vec![App::Gups], vec![PtKind::MeHpt], vec![false]);
+        let spec = grid.expand(&Tuning::quick()).remove(0);
+        let rep = |r: u32, cycles: u64, status: CellStatus| RepResult {
+            replicate: r,
+            seed: spec.replicate_seed(r),
+            status,
+            error: (status == CellStatus::Failed).then(|| "boom".to_string()),
+            metrics: (status != CellStatus::Failed).then(|| fake_metrics(cycles)),
+            wall_millis: 5,
+        };
+        // Out-of-order arrival, one aborted replicate: still aggregates.
+        let cell = CellResult::from_replicates(
+            spec.clone(),
+            vec![
+                rep(2, 1200, CellStatus::Aborted),
+                rep(0, 1000, CellStatus::Ok),
+                rep(1, 1100, CellStatus::Ok),
+            ],
+        );
+        assert_eq!(cell.status, CellStatus::Aborted);
+        assert_eq!(cell.replicates.len(), 3);
+        assert_eq!(cell.metrics.as_ref().unwrap().total_cycles, 1000);
+        let st = cell.stats.as_ref().unwrap();
+        assert_eq!(st.replicates, 3);
+        let cyc = st.field("total_cycles").unwrap();
+        assert!((cyc.mean - 1100.0).abs() < 1e-9);
+        assert_eq!((cyc.min, cyc.max), (1000.0, 1200.0));
+        assert!(cyc.ci95 > 0.0);
+
+        // A failed primary replicate leaves metrics None but stats intact.
+        let cell = CellResult::from_replicates(
+            spec,
+            vec![rep(0, 0, CellStatus::Failed), rep(1, 1100, CellStatus::Ok)],
+        );
+        assert_eq!(cell.status, CellStatus::Failed);
+        assert!(cell.metrics.is_none());
+        assert_eq!(cell.stats.as_ref().unwrap().replicates, 1);
+        assert_eq!(cell.error.as_deref(), Some("boom"));
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! Replicate aggregation: mean / min / max / 95% confidence intervals.
+//!
+//! When a sweep runs with `--seeds N > 1`, every cell is simulated `N`
+//! times under identity-derived replicate seeds and the per-replicate
+//! metrics are folded into one [`CellStats`] block per cell. Aggregation
+//! is **order-invariant**: values are sorted into a canonical order before
+//! any floating-point reduction, so a shuffled replicate list (different
+//! `--jobs` interleavings, different collection order) produces the exact
+//! same bits. Confidence intervals use the two-sided Student-t critical
+//! value at 95% for the replicate count at hand — with one replicate the
+//! interval collapses to zero width, which is how single-seed reports
+//! stay byte-compatible in spirit with the multi-seed schema.
+
+use crate::json::Json;
+use crate::report::CellMetrics;
+
+/// Two-sided 97.5% Student-t quantiles for `df = 1..=30`; beyond 30
+/// degrees of freedom the normal 1.96 is close enough for a report band.
+const T975: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// The 95% two-sided t critical value for `n` replicates (`df = n - 1`).
+/// Zero for `n <= 1` — one observation has no dispersion to band.
+pub fn t_critical_95(n: usize) -> f64 {
+    match n {
+        0 | 1 => 0.0,
+        n if n - 1 <= T975.len() => T975[n - 2],
+        _ => 1.96,
+    }
+}
+
+/// Summary statistics of one metric across a cell's replicates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MetricStats {
+    /// Arithmetic mean over replicates.
+    pub mean: f64,
+    /// Smallest replicate value.
+    pub min: f64,
+    /// Largest replicate value.
+    pub max: f64,
+    /// Half-width of the 95% confidence interval around the mean
+    /// (`t * s / sqrt(n)`; 0.0 with a single replicate).
+    pub ci95: f64,
+}
+
+impl MetricStats {
+    /// Aggregates raw replicate values. Returns `None` for an empty list.
+    ///
+    /// The values are sorted (total order, NaN-safe) before summation, so
+    /// the result is bit-identical for every input permutation.
+    pub fn from_values(values: &[f64]) -> Option<MetricStats> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len() as f64;
+        let mean = sorted.iter().sum::<f64>() / n;
+        let ci95 = if sorted.len() > 1 {
+            let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0);
+            t_critical_95(sorted.len()) * (var / n).sqrt()
+        } else {
+            0.0
+        };
+        Some(MetricStats {
+            mean,
+            min: sorted[0],
+            max: *sorted.last().unwrap(),
+            ci95,
+        })
+    }
+
+    /// Lower edge of the 95% confidence interval.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.ci95
+    }
+
+    /// Upper edge of the 95% confidence interval.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.ci95
+    }
+
+    /// Whether this interval overlaps `other`'s (used by `mehpt-lab diff`
+    /// to accept drift that both sweeps' own noise bands already cover).
+    pub fn ci_overlaps(&self, other: &MetricStats) -> bool {
+        self.lo() <= other.hi() && other.lo() <= self.hi()
+    }
+
+    pub(crate) fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("mean", Json::Num(self.mean)),
+            ("min", Json::Num(self.min)),
+            ("max", Json::Num(self.max)),
+            ("ci95", Json::Num(self.ci95)),
+        ])
+    }
+}
+
+/// The headline metrics a cell aggregates across replicates. Kept to the
+/// scalars the paper's figures and `mehpt-lab diff` actually compare;
+/// structural vectors (way sizes, histograms) stay on the replicate-0
+/// [`CellMetrics`].
+pub const STAT_FIELDS: [&str; 8] = [
+    "cycles_per_access",
+    "total_cycles",
+    "tlb_miss_rate",
+    "mean_walk_cycles",
+    "faults",
+    "pt_peak_bytes",
+    "pt_final_bytes",
+    "pt_max_contiguous",
+];
+
+/// Per-cell aggregate over all metric-bearing replicates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellStats {
+    /// Replicates that produced metrics (ok or modeled-abort).
+    pub replicates: u32,
+    /// One [`MetricStats`] per [`STAT_FIELDS`] entry, in that order.
+    pub fields: Vec<MetricStats>,
+}
+
+impl CellStats {
+    /// Aggregates the metric-bearing replicates of one cell. `None` when
+    /// no replicate produced metrics (every replicate panicked).
+    pub fn from_metrics(metrics: &[&CellMetrics]) -> Option<CellStats> {
+        if metrics.is_empty() {
+            return None;
+        }
+        let columns: [Vec<f64>; 8] = [
+            metrics.iter().map(|m| m.cycles_per_access()).collect(),
+            metrics.iter().map(|m| m.total_cycles as f64).collect(),
+            metrics.iter().map(|m| m.tlb_miss_rate).collect(),
+            metrics.iter().map(|m| m.mean_walk_cycles).collect(),
+            metrics.iter().map(|m| m.faults as f64).collect(),
+            metrics.iter().map(|m| m.pt_peak_bytes as f64).collect(),
+            metrics.iter().map(|m| m.pt_final_bytes as f64).collect(),
+            metrics.iter().map(|m| m.pt_max_contiguous as f64).collect(),
+        ];
+        Some(CellStats {
+            replicates: metrics.len() as u32,
+            fields: columns
+                .iter()
+                .map(|c| MetricStats::from_values(c).expect("non-empty columns"))
+                .collect(),
+        })
+    }
+
+    /// The stats of one named field (a [`STAT_FIELDS`] entry).
+    pub fn field(&self, name: &str) -> Option<&MetricStats> {
+        STAT_FIELDS
+            .iter()
+            .position(|&f| f == name)
+            .and_then(|i| self.fields.get(i))
+    }
+
+    /// Named iteration over the aggregated fields, in schema order.
+    pub fn named(&self) -> impl Iterator<Item = (&'static str, &MetricStats)> {
+        STAT_FIELDS.iter().copied().zip(self.fields.iter())
+    }
+
+    pub(crate) fn to_json(&self) -> Json {
+        let mut fields = vec![("replicates".to_string(), Json::UInt(self.replicates as u64))];
+        for (name, stats) in self.named() {
+            fields.push((name.to_string(), stats.to_json()));
+        }
+        Json::Obj(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_min_max_and_ci_match_hand_computation() {
+        let s = MetricStats::from_values(&[1.0, 2.0, 3.0]).unwrap();
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        // sd = 1, n = 3, t(2) = 4.303 -> ci = 4.303 / sqrt(3).
+        assert!((s.ci95 - 4.303 / 3f64.sqrt()).abs() < 1e-9);
+        assert!(s.lo() < 2.0 && s.hi() > 2.0);
+    }
+
+    #[test]
+    fn single_value_has_zero_width() {
+        let s = MetricStats::from_values(&[7.5]).unwrap();
+        assert_eq!((s.mean, s.min, s.max, s.ci95), (7.5, 7.5, 7.5, 0.0));
+        assert!(MetricStats::from_values(&[]).is_none());
+    }
+
+    #[test]
+    fn aggregation_is_order_invariant_bitwise() {
+        let a = [3.1, 1.7, 2.9, 0.4, 8.25, 5.5];
+        let mut b = a;
+        b.reverse();
+        b.swap(1, 3);
+        let sa = MetricStats::from_values(&a).unwrap();
+        let sb = MetricStats::from_values(&b).unwrap();
+        assert_eq!(sa.mean.to_bits(), sb.mean.to_bits());
+        assert_eq!(sa.ci95.to_bits(), sb.ci95.to_bits());
+    }
+
+    #[test]
+    fn t_table_edges() {
+        assert_eq!(t_critical_95(1), 0.0);
+        assert!((t_critical_95(2) - 12.706).abs() < 1e-9);
+        assert!((t_critical_95(31) - 2.042).abs() < 1e-9);
+        assert!((t_critical_95(1000) - 1.96).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ci_overlap() {
+        let near = MetricStats::from_values(&[10.0, 11.0, 12.0]).unwrap();
+        let far = MetricStats::from_values(&[100.0, 101.0]).unwrap();
+        assert!(near.ci_overlaps(&near));
+        assert!(!near.ci_overlaps(&far));
+    }
+}

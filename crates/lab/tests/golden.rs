@@ -1,0 +1,128 @@
+//! Golden-file pin of the schema v2 JSON report.
+//!
+//! The committed `tests/golden/report_v2.json` is the contract external
+//! tooling parses: `schema_version`, `seeds`, per-cell `replicates` and
+//! `stats` blocks. Any serialization change shows up as a diff against the
+//! golden file; regenerate deliberately with
+//! `MEHPT_BLESS=1 cargo test -p mehpt-lab --test golden`.
+
+use mehpt_lab::grid::{ExperimentGrid, Tuning};
+use mehpt_lab::json::Json;
+use mehpt_lab::report::{CellMetrics, CellResult, CellStatus, LabReport, RepResult};
+use mehpt_sim::PtKind;
+use mehpt_workloads::App;
+
+/// Hand-built metrics: the golden file pins the schema, not the simulator.
+fn metrics(total_cycles: u64) -> CellMetrics {
+    CellMetrics {
+        accesses: 1000,
+        total_cycles,
+        base_cycles: 1000,
+        translation_cycles: 2000,
+        fault_cycles: 300,
+        alloc_cycles: 200,
+        os_pt_cycles: 100,
+        faults: 42,
+        pages_4k: 512,
+        pages_2m: 2,
+        tlb_miss_rate: 0.125,
+        walks: 125,
+        mean_walk_accesses: 1.5,
+        mean_walk_cycles: 33.25,
+        pt_final_bytes: 65536,
+        pt_peak_bytes: 131072,
+        pt_max_contiguous: 8192,
+        way_sizes_4k: vec![16384, 16384, 8192],
+        way_phys_4k: vec![16384, 8192, 8192],
+        upsizes_per_way_4k: vec![1, 1, 0],
+        upsizes_per_way_2m: vec![],
+        moved_fraction_4k: 0.5,
+        kicks_histogram: vec![900, 90, 10],
+        l2p_entries_used: 7,
+        chunk_switches: 0,
+        data_bytes_nominal: 1 << 30,
+    }
+}
+
+fn golden_report() -> LabReport {
+    let grid = ExperimentGrid::paper(vec![App::Gups, App::Bfs], vec![PtKind::MeHpt], vec![false]);
+    let specs = grid.expand(&Tuning::quick());
+    let cells = specs
+        .into_iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let reps = (0..3u32)
+                .map(|r| {
+                    // Cell 1's replicate 2 fails, exercising the mixed-status
+                    // aggregate and the error field.
+                    let failed = i == 1 && r == 2;
+                    RepResult {
+                        replicate: r,
+                        seed: spec.replicate_seed(r),
+                        status: if failed {
+                            CellStatus::Failed
+                        } else {
+                            CellStatus::Ok
+                        },
+                        error: failed.then(|| "injected golden failure".to_string()),
+                        metrics: (!failed).then(|| metrics(10_000 + 100 * (i as u64 + r as u64))),
+                        wall_millis: 1,
+                    }
+                })
+                .collect();
+            CellResult::from_replicates(spec, reps)
+        })
+        .collect();
+    LabReport {
+        preset: "golden".into(),
+        scale: 0.005,
+        base_seed: 0x5eed,
+        seeds: 3,
+        cells,
+    }
+}
+
+#[test]
+fn report_v2_json_matches_the_golden_file() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("report_v2.json");
+    let rendered = golden_report().to_json();
+    if std::env::var_os("MEHPT_BLESS").is_some() {
+        std::fs::write(&path, &rendered).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).expect(
+        "missing tests/golden/report_v2.json — regenerate with \
+         MEHPT_BLESS=1 cargo test -p mehpt-lab --test golden",
+    );
+    assert_eq!(
+        rendered, golden,
+        "schema v2 serialization drifted from the golden file; if the \
+         change is intentional, re-bless with MEHPT_BLESS=1"
+    );
+}
+
+#[test]
+fn golden_file_parses_and_carries_the_v2_shape() {
+    let doc = Json::parse(&golden_report().to_json()).expect("report parses");
+    assert_eq!(doc.get("schema_version").and_then(Json::as_f64), Some(2.0));
+    assert_eq!(doc.get("seeds").and_then(Json::as_f64), Some(3.0));
+    let cells = doc.get("cells").and_then(Json::as_arr).expect("cells");
+    assert_eq!(cells.len(), 2);
+    for cell in cells {
+        let reps = cell.get("replicates").and_then(Json::as_arr).expect("reps");
+        assert_eq!(reps.len(), 3);
+        let stats = cell.get("stats").expect("stats");
+        let cpa = stats.get("cycles_per_access").expect("cpa block");
+        for field in ["mean", "min", "max", "ci95"] {
+            assert!(cpa.get(field).and_then(Json::as_f64).is_some());
+        }
+    }
+    // The mixed-status cell: failed aggregate, 2 metric-bearing replicates.
+    let failed = &cells[1];
+    assert_eq!(failed.get("status").and_then(Json::as_str), Some("failed"));
+    let stats = failed.get("stats").expect("stats survive a failed rep");
+    assert_eq!(stats.get("replicates").and_then(Json::as_f64), Some(2.0));
+}

@@ -1,0 +1,122 @@
+//! Property tests for the replication axis: aggregation must not care
+//! about the order replicates are collected in (different `--jobs`
+//! interleavings deliver them in arbitrary order).
+
+use mehpt_lab::grid::{ExperimentGrid, Tuning};
+use mehpt_lab::report::{CellMetrics, CellResult, CellStatus, RepResult};
+use mehpt_lab::stats::{CellStats, MetricStats};
+use mehpt_sim::PtKind;
+use mehpt_types::proptest_lite::{check, Gen};
+use mehpt_workloads::App;
+
+fn shuffle<T>(g: &mut Gen, v: &mut [T]) {
+    for i in (1..v.len()).rev() {
+        v.swap(i, g.index(i + 1));
+    }
+}
+
+fn metrics(g: &mut Gen) -> CellMetrics {
+    CellMetrics {
+        accesses: 1 + g.below(1_000_000),
+        total_cycles: 1 + g.below(100_000_000),
+        base_cycles: g.below(1_000_000),
+        translation_cycles: g.below(1_000_000),
+        fault_cycles: g.below(1_000_000),
+        alloc_cycles: g.below(1_000_000),
+        os_pt_cycles: g.below(1_000_000),
+        faults: g.below(10_000),
+        pages_4k: g.below(10_000),
+        pages_2m: g.below(100),
+        tlb_miss_rate: g.below(1000) as f64 / 1000.0,
+        walks: g.below(10_000),
+        mean_walk_accesses: 1.0 + g.below(40) as f64 / 10.0,
+        mean_walk_cycles: g.below(2000) as f64 / 10.0,
+        pt_final_bytes: g.below(1 << 30),
+        pt_peak_bytes: g.below(1 << 30),
+        pt_max_contiguous: g.below(1 << 26),
+        way_sizes_4k: vec![8192; 3],
+        way_phys_4k: vec![8192; 3],
+        upsizes_per_way_4k: vec![g.below(20); 3],
+        upsizes_per_way_2m: vec![],
+        moved_fraction_4k: g.below(1000) as f64 / 1000.0,
+        kicks_histogram: vec![g.below(100), g.below(10)],
+        l2p_entries_used: g.below(288),
+        chunk_switches: g.below(2),
+        data_bytes_nominal: 1 << 30,
+    }
+}
+
+#[test]
+fn metric_stats_are_bitwise_order_invariant() {
+    check("metric_stats_order_invariance", 128, |g: &mut Gen| {
+        let mut values: Vec<f64> = (0..1 + g.len(24))
+            .map(|_| g.below(1_000_000) as f64 / 7.0)
+            .collect();
+        let original = MetricStats::from_values(&values).unwrap();
+        shuffle(g, &mut values);
+        let shuffled = MetricStats::from_values(&values).unwrap();
+        assert_eq!(original.mean.to_bits(), shuffled.mean.to_bits());
+        assert_eq!(original.min.to_bits(), shuffled.min.to_bits());
+        assert_eq!(original.max.to_bits(), shuffled.max.to_bits());
+        assert_eq!(original.ci95.to_bits(), shuffled.ci95.to_bits());
+    });
+}
+
+#[test]
+fn cell_stats_are_order_invariant_over_replicates() {
+    check("cell_stats_order_invariance", 64, |g: &mut Gen| {
+        let mut reps: Vec<CellMetrics> = (0..1 + g.len(9)).map(|_| metrics(g)).collect();
+        let original = CellStats::from_metrics(&reps.iter().collect::<Vec<_>>()).unwrap();
+        shuffle(g, &mut reps);
+        let shuffled = CellStats::from_metrics(&reps.iter().collect::<Vec<_>>()).unwrap();
+        assert_eq!(original, shuffled);
+        for ((_, a), (_, b)) in original.named().zip(shuffled.named()) {
+            assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+            assert_eq!(a.ci95.to_bits(), b.ci95.to_bits());
+        }
+    });
+}
+
+#[test]
+fn cell_results_serialize_identically_for_any_arrival_order() {
+    let grid = ExperimentGrid::paper(vec![App::Gups], vec![PtKind::MeHpt], vec![false]);
+    let spec = grid.expand(&Tuning::quick()).remove(0);
+    check("cell_result_arrival_order", 64, |g: &mut Gen| {
+        let n = 1 + g.len(7) as u32;
+        let mut reps: Vec<RepResult> = (0..n)
+            .map(|r| {
+                let failed = g.below(8) == 0 && r != 0;
+                RepResult {
+                    replicate: r,
+                    seed: spec.replicate_seed(r),
+                    status: if failed {
+                        CellStatus::Failed
+                    } else {
+                        CellStatus::Ok
+                    },
+                    error: failed.then(|| "injected".to_string()),
+                    metrics: (!failed).then(|| metrics(g)),
+                    wall_millis: g.below(100),
+                }
+            })
+            .collect();
+        let in_order = CellResult::from_replicates(spec.clone(), reps.clone());
+        shuffle(g, &mut reps);
+        let shuffled = CellResult::from_replicates(spec.clone(), reps);
+        assert_eq!(in_order.status, shuffled.status);
+        assert_eq!(in_order.stats, shuffled.stats);
+        assert_eq!(in_order.metrics, shuffled.metrics);
+        // The strongest form: the serialized report is byte-identical.
+        let report = |cell: CellResult| {
+            mehpt_lab::LabReport {
+                preset: "prop".into(),
+                scale: 1.0,
+                base_seed: 0x5eed,
+                seeds: n,
+                cells: vec![cell],
+            }
+            .to_json()
+        };
+        assert_eq!(report(in_order), report(shuffled));
+    });
+}

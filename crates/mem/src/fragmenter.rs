@@ -1,3 +1,13 @@
+//! Deterministic memory fragmentation: driving a [`PhysMem`] to a target
+//! FMFI (free memory fragmentation index) the way the paper's open-source
+//! fragmentation tool drives a real server.
+//!
+//! The paper evaluates everything at one pinned fragmentation level
+//! (0.7 FMFI) and sweeps the 0.0→0.9 range for its fragmentation curves.
+//! [`Fragmenter::SWEEP_FMFI`] is the canonical form of that sweep; the
+//! `mehpt-lab` experiment grids build their fragmentation axis from it so
+//! every layer of the stack agrees on the exact FMFI points.
+
 use mehpt_types::rng::Xoshiro256;
 
 use crate::phys::{AllocTag, Chunk, PhysMem, FMFI_REF_ORDER};
@@ -36,6 +46,12 @@ pub struct Fragmenter {
 impl Fragmenter {
     /// The FMFI level up to which all pinned ballast remains movable.
     pub const MOVABLE_LIMIT: f64 = 0.7;
+
+    /// The paper's fragmentation sweep (its Fig. 7-style curves): FMFI
+    /// 0.0 → 0.9 in 0.1 steps. 0.7 is the pinned evaluation point; above
+    /// it, a growing share of the ballast is unmovable and 64MB
+    /// contiguous allocations start failing outright.
+    pub const SWEEP_FMFI: [f64; 10] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
 
     /// Fragments `mem` until its scalar FMFI is within ~0.01 of
     /// `target_fmfi` (clamped to `[0, 0.99]`).
@@ -197,6 +213,14 @@ mod tests {
         assert!(m.free_bytes() < before);
         frag.release(&mut m);
         assert_eq!(m.free_bytes(), before);
+    }
+
+    #[test]
+    fn sweep_is_sorted_and_brackets_the_movable_limit() {
+        let s = Fragmenter::SWEEP_FMFI;
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert!(s.contains(&Fragmenter::MOVABLE_LIMIT));
+        assert!(s.iter().all(|f| (0.0..1.0).contains(f)));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! The workspace builds with no crates-io dependencies, so the usual
 //! `proptest` crate is replaced by this module: a deterministic randomized
-//! case runner driven by [`Xoshiro256`](crate::rng::Xoshiro256). Each test
+//! case runner driven by [`Xoshiro256`]. Each test
 //! runs `cases` independently seeded inputs; a failing case reports the
 //! exact seed that reproduces it, and `MEHPT_PROP_SEED` replays just that
 //! seed.

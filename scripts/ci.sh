@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Offline CI for the mehpt workspace: format, build, test, and a smoke run
-# of the mehpt-lab experiment runner. No network access required — the
-# workspace has no crates-io dependencies.
+# Offline CI for the mehpt workspace: format, build, docs, test, and a
+# smoke run of the mehpt-lab experiment runner. No network access required
+# — the workspace has no crates-io dependencies.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,6 +11,11 @@ cargo fmt --check
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo doc --no-deps (deny warnings)"
+# --lib: the mehpt-lab *binary* and the mehpt-lab *library* would collide
+# on target/doc/mehpt_lab; library docs are the ones that matter.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --lib --quiet
+
 echo "==> cargo test -q"
 cargo test -q
 
@@ -18,9 +23,12 @@ echo "==> mehpt-lab table1 --jobs 2 --quick (smoke)"
 ./target/release/mehpt-lab table1 --jobs 2 --quick --out target/lab-ci >/dev/null
 
 echo "==> determinism: --jobs 1 and --jobs 4 must emit identical reports"
-./target/release/mehpt-lab fig16 --jobs 1 --quick --out target/lab-ci-j1 >/dev/null 2>&1
-./target/release/mehpt-lab fig16 --jobs 4 --quick --out target/lab-ci-j4 >/dev/null 2>&1
-cmp target/lab-ci-j1/fig16/report.json target/lab-ci-j4/fig16/report.json
-cmp target/lab-ci-j1/fig16/report.csv target/lab-ci-j4/fig16/report.csv
+./target/release/mehpt-lab run --preset fig7 --seeds 3 --jobs 1 --quick \
+    --max-accesses 20000 --out target/lab-ci-j1 >/dev/null 2>&1
+./target/release/mehpt-lab run --preset fig7 --seeds 3 --jobs 4 --quick \
+    --max-accesses 20000 --out target/lab-ci-j4 >/dev/null 2>&1
+./target/release/mehpt-lab diff \
+    target/lab-ci-j1/fig7/report.json target/lab-ci-j4/fig7/report.json
+cmp target/lab-ci-j1/fig7/report.csv target/lab-ci-j4/fig7/report.csv
 
 echo "CI OK"

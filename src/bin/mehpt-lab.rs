@@ -5,8 +5,8 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match mehpt_lab::cli::parse_args(&args) {
-        Ok(parsed) => std::process::exit(mehpt_lab::cli::run(&parsed)),
+    match mehpt_lab::cli::parse_command(&args) {
+        Ok(parsed) => std::process::exit(mehpt_lab::cli::run_command(&parsed)),
         Err(msg) if msg.is_empty() => print!("{}", mehpt_lab::cli::USAGE),
         Err(msg) => {
             eprintln!("mehpt-lab: {msg}");
