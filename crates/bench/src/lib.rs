@@ -93,6 +93,7 @@ pub fn run_grid(name: &str, grid: &ExperimentGrid) -> LabReport {
     let opts = RunOptions {
         jobs: jobs(),
         seeds: seeds(),
+        timeout: None,
     };
     let cells = run_cells(&specs, &opts, &|p| {
         eprintln!(
@@ -108,6 +109,8 @@ pub fn run_grid(name: &str, grid: &ExperimentGrid) -> LabReport {
         scale: t.scale,
         base_seed: t.base_seed,
         seeds: seeds(),
+        timeout_secs: None,
+        fault: None,
         cells,
     }
 }

@@ -15,9 +15,10 @@ use mehpt_workloads::App;
 
 use crate::diff::{diff_texts, DiffOptions};
 use crate::engine::{self, Progress, RunOptions, WORKER_THREAD_PREFIX};
+use crate::fault::FaultPlan;
 use crate::grid::{CellSpec, FmfiAxis, Tuning};
 use crate::presets::{Preset, PRESETS};
-use crate::report::{CellStatus, LabReport};
+use crate::report::{LabReport, StatusCounts};
 
 /// Usage text.
 pub const USAGE: &str = "\
@@ -47,6 +48,14 @@ OPTIONS:
     --seed S           base seed (decimal or 0x hex; default 0x5eed)
     --max-accesses N   cap simulated accesses per cell
     --out DIR          report directory (default target/lab)
+    --timeout SECS     watchdog deadline per cell replicate, in whole
+                       seconds; an expired replicate is marked timed_out,
+                       its worker is abandoned and the sweep completes
+                       (default: off, or the preset's own default)
+    --fault SPEC       deterministic fault injection: comma-separated
+                       kind:selector rules, kind in {panic,hang,poison},
+                       selector an id substring or @N (1-in-N identity
+                       hash); also read from MEHPT_FAULT when unset
     --inject-panic APP panic inside APP's cells (tests panic isolation)
     -h, --help         this text
 
@@ -57,10 +66,12 @@ DIFF OPTIONS:
                        sweeps' own confidence bands already cover it)
 
 Reports land in <out>/<preset>/report.{json,csv} (written atomically).
-JSON and CSV are pure functions of the cell grid and seeds: --jobs 1 and
---jobs 8 emit byte-identical files, which `mehpt-lab diff` verifies. Exit
-status: 0 on success (aborted cells are modeled outcomes and count as
-success), 1 if any cell failed / reports drifted, 2 on usage errors.
+JSON and CSV are pure functions of the cell grid, seeds, timeout and
+fault configuration: --jobs 1 and --jobs 8 emit byte-identical files,
+which `mehpt-lab diff` verifies (timed-out cells record the configured
+deadline, never wall-clock). Exit status: 0 on success (aborted cells are
+modeled outcomes and count as success), 1 if any cell failed or timed
+out / reports drifted, 2 on usage errors.
 ";
 
 /// Parsed command line for the sweep runner.
@@ -80,6 +91,8 @@ pub struct LabArgs {
     pub frag: Option<f64>,
     /// Report directory.
     pub out: PathBuf,
+    /// Fault-injection plan (`--fault` / `MEHPT_FAULT`).
+    pub fault: Option<FaultPlan>,
     /// App whose cells should panic (panic-isolation demo/testing).
     pub inject_panic: Option<App>,
 }
@@ -94,8 +107,23 @@ impl Default for LabArgs {
             tuning: Tuning::default(),
             frag: None,
             out: PathBuf::from("target/lab"),
+            fault: None,
             inject_panic: None,
         }
+    }
+}
+
+impl LabArgs {
+    /// The watchdog deadline this invocation runs under: an explicit
+    /// `--timeout` wins; otherwise the strictest per-preset default among
+    /// the requested presets (the whole union runs under one deadline).
+    pub fn effective_timeout_secs(&self) -> Option<u64> {
+        self.tuning.timeout_secs.or_else(|| {
+            self.presets
+                .iter()
+                .filter_map(|p| p.default_timeout_secs())
+                .min()
+        })
     }
 }
 
@@ -217,6 +245,14 @@ pub fn parse_args(args: &[String]) -> Result<LabArgs, String> {
                 out.tuning.max_accesses = Some(parse_u64(value("--max-accesses")?)?)
             }
             "--out" => out.out = PathBuf::from(value("--out")?),
+            "--timeout" => {
+                let secs = parse_u64(value("--timeout")?)?;
+                if secs == 0 {
+                    return Err("--timeout must be at least 1 second".to_string());
+                }
+                out.tuning.timeout_secs = Some(secs);
+            }
+            "--fault" => out.fault = Some(FaultPlan::parse(value("--fault")?)?),
             "--inject-panic" => {
                 let name = value("--inject-panic")?;
                 out.inject_panic = Some(
@@ -245,6 +281,13 @@ pub fn parse_args(args: &[String]) -> Result<LabArgs, String> {
     }
     if let Some(gb) = mem_gb {
         out.tuning.mem_bytes = gb * mehpt_types::GIB;
+    }
+    if out.fault.is_none() {
+        if let Ok(spec) = std::env::var("MEHPT_FAULT") {
+            if !spec.trim().is_empty() {
+                out.fault = Some(FaultPlan::parse(&spec)?);
+            }
+        }
     }
     if !out.list && out.presets.is_empty() {
         return Err("no preset given (try `mehpt-lab list`)".to_string());
@@ -328,9 +371,17 @@ pub fn run(args: &LabArgs) -> i32 {
         args.tuning.base_seed
     );
 
+    let timeout_secs = args.effective_timeout_secs();
+    if let Some(secs) = timeout_secs {
+        eprintln!("mehpt-lab: watchdog deadline {secs}s per replicate");
+    }
+    if let Some(plan) = &args.fault {
+        eprintln!("mehpt-lab: fault injection active: {}", plan.spec());
+    }
     let opts = RunOptions {
         jobs: args.jobs,
         seeds: args.seeds,
+        timeout: timeout_secs.map(std::time::Duration::from_secs),
     };
     let progress = |p: Progress| {
         let mut err = std::io::stderr().lock();
@@ -344,11 +395,13 @@ pub fn run(args: &LabArgs) -> i32 {
             p.wall_millis
         );
     };
+    let fault = args.fault.as_ref();
     let results = match args.inject_panic {
-        None => engine::run_cells(&union, &opts, &progress),
-        Some(app) => engine::run_cells_with(
+        None => engine::run_cells_injected(&union, &opts, fault, engine::simulate_cell, &progress),
+        Some(app) => engine::run_cells_injected(
             &union,
             &opts,
+            fault,
             move |spec: &CellSpec| -> SimReport {
                 if spec.app == app {
                     panic!("injected panic in cell {}", spec.id());
@@ -374,9 +427,11 @@ pub fn run(args: &LabArgs) -> i32 {
             scale: args.tuning.scale,
             base_seed: args.tuning.base_seed,
             seeds: args.seeds.max(1),
+            timeout_secs: timeout_secs.map(|s| s as f64),
+            fault: args.fault.as_ref().map(|p| p.spec().to_string()),
             cells,
         };
-        any_failed |= report.counts().2 > 0;
+        any_failed |= report.counts().bad() > 0;
         print!("{}", preset.render(&report));
         if let Err(e) = write_reports(preset, &report, args) {
             eprintln!("mehpt-lab: cannot write reports: {e}");
@@ -384,21 +439,26 @@ pub fn run(args: &LabArgs) -> i32 {
         }
     }
 
-    let (ok, aborted, failed) = summarize(&results);
+    let c = summarize(&results);
     eprintln!(
-        "mehpt-lab: {ok} ok, {aborted} aborted, {failed} failed; reports under {}",
+        "mehpt-lab: {} ok, {} aborted, {} failed, {} timed out; reports under {}",
+        c.ok,
+        c.aborted,
+        c.failed,
+        c.timed_out,
         args.out.display()
     );
     i32::from(any_failed)
 }
 
-fn summarize(results: &[crate::report::CellResult]) -> (usize, usize, usize) {
-    let mut c = (0, 0, 0);
+fn summarize(results: &[crate::report::CellResult]) -> StatusCounts {
+    let mut c = StatusCounts::default();
     for r in results {
         match r.status {
-            CellStatus::Ok => c.0 += 1,
-            CellStatus::Aborted => c.1 += 1,
-            CellStatus::Failed => c.2 += 1,
+            crate::report::CellStatus::Ok => c.ok += 1,
+            crate::report::CellStatus::Aborted => c.aborted += 1,
+            crate::report::CellStatus::Failed => c.failed += 1,
+            crate::report::CellStatus::TimedOut => c.timed_out += 1,
         }
     }
     c
@@ -491,6 +551,27 @@ mod tests {
     }
 
     #[test]
+    fn timeout_and_fault_flags_parse() {
+        let a = parse(&["fig7", "--timeout", "2", "--fault", "hang:gups-ecpt"]).unwrap();
+        assert_eq!(a.tuning.timeout_secs, Some(2));
+        assert_eq!(a.effective_timeout_secs(), Some(2));
+        assert_eq!(a.fault.as_ref().unwrap().spec(), "hang:gups-ecpt");
+        assert!(parse(&["fig7", "--timeout", "0"]).is_err());
+        assert!(parse(&["fig7", "--fault", "explode:@2"]).is_err());
+        // Without --timeout, fig7's own per-preset default applies; an
+        // explicit flag overrides it.
+        let d = parse(&["fig7"]).unwrap();
+        assert_eq!(d.tuning.timeout_secs, None);
+        assert_eq!(
+            d.effective_timeout_secs(),
+            Preset::Fig7.default_timeout_secs()
+        );
+        assert!(d.effective_timeout_secs().is_some());
+        // A preset without a default runs unwatched.
+        assert_eq!(parse(&["table1"]).unwrap().effective_timeout_secs(), None);
+    }
+
+    #[test]
     fn union_dedups_shared_cells() {
         let mut a = parse(&["fig11", "fig12", "fig13", "fig14"]).unwrap();
         a.tuning = Tuning::quick();
@@ -572,6 +653,8 @@ mod tests {
             scale: t.scale,
             base_seed: t.base_seed,
             seeds: 1,
+            timeout_secs: None,
+            fault: None,
             cells,
         };
         std::fs::write(&path, report.to_json()).unwrap();
@@ -588,6 +671,60 @@ mod tests {
             }),
             2
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn diff_round_trips_a_report_with_failed_cells() {
+        // The satellite fix: a failed/timed-out cell has no stats or
+        // metrics blocks, and diff must skip (and count) it on either
+        // side instead of erroring out.
+        let dir =
+            std::env::temp_dir().join(format!("mehpt-diff-fault-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        let grid = crate::grid::ExperimentGrid::paper(
+            vec![App::Mummer, App::Gups],
+            vec![mehpt_sim::PtKind::MeHpt],
+            vec![false],
+        );
+        let t = Tuning {
+            scale: 0.002,
+            ..Tuning::quick()
+        };
+        let plan = FaultPlan::parse("panic:gups").unwrap();
+        let cells = engine::run_cells_injected(
+            &grid.expand(&t),
+            &RunOptions::with_jobs(2),
+            Some(&plan),
+            engine::simulate_cell,
+            &|_| {},
+        );
+        let report = LabReport {
+            preset: "t".into(),
+            scale: t.scale,
+            base_seed: t.base_seed,
+            seeds: 1,
+            timeout_secs: None,
+            fault: Some(plan.spec().to_string()),
+            cells,
+        };
+        assert_eq!(report.counts().failed, 1);
+        let json = report.to_json();
+        std::fs::write(&path, &json).unwrap();
+        let d = DiffArgs {
+            a: path.clone(),
+            b: path,
+            opts: DiffOptions::default(),
+        };
+        assert_eq!(run_diff(&d), 0, "self-diff with a failed cell is clean");
+        let diff = diff_texts(&json, &json, &DiffOptions::default()).unwrap();
+        assert!(diff.clean());
+        assert_eq!(
+            diff.cells_skipped, 1,
+            "the failed cell is counted, not compared"
+        );
+        assert_eq!(diff.cells_compared, 1, "the healthy cell still compares");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

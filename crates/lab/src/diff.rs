@@ -15,9 +15,13 @@
 //!   run-to-run noise and is not flagged.
 //!
 //! Cells present on only one side and per-cell status changes are always
-//! drift. The comparison reads schema v2 reports and falls back to the
-//! flat v1 `metrics` block for reports written before the replication
-//! axis existed.
+//! drift. Cells that *failed* (panicked or timed out) on either side carry
+//! no comparable metrics; their statuses are still compared, but their
+//! fields are skipped and counted ([`DiffReport::cells_skipped`]) instead
+//! of flagged as missing. The comparison reads schema v3 reports, and
+//! falls back transparently to v2 (same per-cell shape, no failure
+//! records) and to the flat v1 `metrics` block for reports written before
+//! the replication axis existed.
 
 use std::fmt::Write as _;
 
@@ -62,9 +66,12 @@ pub struct Drift {
 /// The outcome of comparing two reports.
 #[derive(Clone, Debug, Default)]
 pub struct DiffReport {
-    /// Cells present in both reports.
+    /// Cells present in both reports and compared field-by-field.
     pub cells_compared: usize,
-    /// Metric values compared across those cells.
+    /// Cells present in both reports but failed/timed-out on at least one
+    /// side: status compared, metric fields skipped.
+    pub cells_skipped: usize,
+    /// Metric values compared across the compared cells.
     pub values_compared: usize,
     /// Out-of-tolerance differences, in first-report cell order.
     pub drifts: Vec<Drift>,
@@ -84,10 +91,15 @@ impl DiffReport {
     /// The compact human-readable comparison table.
     pub fn render(&self) -> String {
         let mut out = String::new();
+        let skipped = if self.cells_skipped > 0 {
+            format!(" ({} failed/timed-out cell(s) skipped)", self.cells_skipped)
+        } else {
+            String::new()
+        };
         if self.clean() {
             let _ = writeln!(
                 out,
-                "diff: {} cell(s), {} value(s): no drift",
+                "diff: {} cell(s), {} value(s): no drift{skipped}",
                 self.cells_compared, self.values_compared
             );
             return out;
@@ -118,7 +130,7 @@ impl DiffReport {
         let _ = writeln!(out, "{}", "-".repeat(97));
         let _ = writeln!(
             out,
-            "diff: {} cell(s), {} value(s): {} drifted, {} only in A, {} only in B",
+            "diff: {} cell(s), {} value(s): {} drifted, {} only in A, {} only in B{skipped}",
             self.cells_compared,
             self.values_compared,
             self.drifts.len(),
@@ -127,6 +139,12 @@ impl DiffReport {
         );
         out
     }
+}
+
+/// Report labels of the statuses that leave a cell without usable metrics
+/// (the serialized counterparts of `CellStatus::is_failure`).
+fn failed_status(status: &str) -> bool {
+    matches!(status, "failed" | "timed_out")
 }
 
 /// One side's view of a cell: status plus per-field (mean, ci95) pairs.
@@ -222,7 +240,6 @@ pub fn diff_documents(a: &Json, b: &Json, opts: &DiffOptions) -> Result<DiffRepo
             report.only_a.push(id.to_string());
             continue;
         };
-        report.cells_compared += 1;
         if va.status != vb.status {
             report.drifts.push(Drift {
                 id: id.to_string(),
@@ -231,6 +248,13 @@ pub fn diff_documents(a: &Json, b: &Json, opts: &DiffOptions) -> Result<DiffRepo
                 b: vb.status.to_string(),
             });
         }
+        if failed_status(va.status) || failed_status(vb.status) {
+            // A failed/timed-out side has no metrics to compare; the
+            // status check above already told the whole story.
+            report.cells_skipped += 1;
+            continue;
+        }
+        report.cells_compared += 1;
         for name in STAT_FIELDS {
             match (va.field(name), vb.field(name)) {
                 (Some(fa), Some(fb)) => {
@@ -362,6 +386,43 @@ mod tests {
         assert_eq!(d.only_b, vec!["only-b".to_string()]);
         let table = d.render();
         assert!(table.contains("only-a") && table.contains("missing"));
+    }
+
+    #[test]
+    fn failed_cells_are_skipped_and_counted_not_errors() {
+        // Failed on both sides with matching statuses: clean, skipped.
+        // (A real failed cell has "stats": null — no stats block at all.)
+        let failed = "{\"id\": \"c1\", \"status\": \"failed\", \"stats\": null, \
+                      \"metrics\": null}"
+            .to_string();
+        let timed = "{\"id\": \"c1\", \"status\": \"timed_out\", \"stats\": null, \
+                     \"metrics\": null}"
+            .to_string();
+        let a = doc(&[failed.clone(), cell("c2", "ok", 7.0, 0.0)]);
+        let d = diff_texts(&a, &a, &DiffOptions::default()).unwrap();
+        assert!(d.clean(), "{}", d.render());
+        assert_eq!(d.cells_skipped, 1);
+        assert_eq!(d.cells_compared, 1);
+        assert!(d.render().contains("1 failed/timed-out cell(s) skipped"));
+
+        // Failed on one side only: the status drift is the whole story —
+        // no bogus present/missing drifts for every stat field.
+        let b = doc(&[cell("c1", "ok", 7.0, 0.0), cell("c2", "ok", 7.0, 0.0)]);
+        let d = diff_texts(&a, &b, &DiffOptions::default()).unwrap();
+        assert!(!d.clean());
+        assert_eq!(d.drifts.len(), 1);
+        assert_eq!(d.drifts[0].field, "status");
+        assert_eq!(d.cells_skipped, 1);
+
+        // A timed-out vs failed pair: status drift, still skipped.
+        let c = doc(&[timed, cell("c2", "ok", 7.0, 0.0)]);
+        let d = diff_texts(&a, &c, &DiffOptions::default()).unwrap();
+        assert_eq!(d.drifts.len(), 1);
+        assert_eq!(
+            (d.drifts[0].a.as_str(), d.drifts[0].b.as_str()),
+            ("failed", "timed_out")
+        );
+        assert_eq!(d.cells_skipped, 1);
     }
 
     #[test]

@@ -17,20 +17,53 @@
 //! the per-cell replicates are then folded into one [`CellResult`] whose
 //! order-invariant aggregation keeps reports byte-identical for every
 //! `--jobs` value.
+//!
+//! # The watchdog
+//!
+//! Panics are not the only way a simulation can go wrong: a pathological
+//! configuration (say, an ECPT resize loop under extreme fragmentation)
+//! can simply never finish. With [`RunOptions::timeout`] set, every work
+//! unit registers its start with the collector, which doubles as a
+//! monitor: a unit that exceeds the deadline is marked
+//! [`CellStatus::TimedOut`] — recorded deterministically as status plus
+//! the *configured* deadline, never measured wall-clock — its worker is
+//! abandoned (the thread is detached and leaks; a truly hung body cannot
+//! be cancelled from outside), and a replacement worker is spawned so the
+//! rest of the sweep completes at full parallelism. A late result from an
+//! abandoned worker is discarded, so the timed-out record sticks and
+//! reports stay byte-identical across `--jobs` settings.
+//!
+//! Workers are therefore *detached* threads (not scoped): the runner and
+//! the specs are shared through an [`Arc`], which is what allows the
+//! collector to give up on a worker without joining it.
+//!
+//! # Fault injection
+//!
+//! [`run_cells_injected`] consults an optional [`FaultPlan`] before every
+//! unit and makes targeted units panic, hang or return poisoned metrics —
+//! deterministically, keyed to the cell identity and an identity-derived
+//! replicate — which is how the isolation guarantees above are tested
+//! rather than merely claimed. See [`crate::fault`].
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
-use std::time::Instant;
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use mehpt_sim::{SimReport, Simulator};
 
+use crate::fault::{self, FaultKind, FaultPlan};
 use crate::grid::CellSpec;
 use crate::report::{CellMetrics, CellResult, CellStatus, RepResult};
 
 /// Name prefix of the engine's worker threads. The CLI's panic hook uses
 /// it to mute the default "thread panicked" noise for isolated cells.
 pub const WORKER_THREAD_PREFIX: &str = "mehpt-lab-worker";
+
+/// How often the monitor re-checks deadlines when no unit is near expiry
+/// (also the poll interval before the first unit starts).
+const MONITOR_POLL: Duration = Duration::from_millis(25);
 
 /// A progress event, streamed to the caller as cells complete.
 ///
@@ -44,9 +77,11 @@ pub struct Progress {
     pub total: usize,
     /// The finished cell's identity (suffixed `#rN` for replicates > 0).
     pub id: String,
-    /// The finished replicate's status.
+    /// The finished replicate's status ([`CellStatus::TimedOut`] when the
+    /// watchdog abandoned it).
     pub status: CellStatus,
-    /// Wall-clock milliseconds the replicate took.
+    /// Wall-clock milliseconds the replicate took (the configured deadline
+    /// for timed-out units).
     pub wall_millis: u64,
 }
 
@@ -58,11 +93,18 @@ pub struct RunOptions {
     /// Replicates per cell (each under its identity-derived seed).
     /// `0` is normalized to 1.
     pub seeds: u32,
+    /// Per-unit watchdog deadline. `None` (the default) disables the
+    /// watchdog: a hung cell stalls the sweep, exactly as before.
+    pub timeout: Option<Duration>,
 }
 
 impl Default for RunOptions {
     fn default() -> RunOptions {
-        RunOptions { jobs: 0, seeds: 1 }
+        RunOptions {
+            jobs: 0,
+            seeds: 1,
+            timeout: None,
+        }
     }
 }
 
@@ -89,6 +131,13 @@ impl RunOptions {
     }
 }
 
+/// Renders a deadline the way reports and error messages print it: the
+/// shortest exact decimal of the configured seconds (`2`, `0.5`). A pure
+/// function of the configuration, never of measured time.
+pub fn timeout_label(timeout: Duration) -> String {
+    format!("{}", timeout.as_secs_f64())
+}
+
 /// Runs one cell on the real simulator.
 pub fn simulate_cell(spec: &CellSpec) -> SimReport {
     Simulator::run(spec.workload(), spec.sim_config())
@@ -106,16 +155,7 @@ pub fn run_cells(
 
 /// Runs every cell (× `opts.seeds` replicates) on a pool of `opts.jobs`
 /// workers with a caller-supplied cell body, and returns results in spec
-/// order.
-///
-/// The body runs under `catch_unwind`: a panic fails that replicate
-/// (status [`CellStatus::Failed`], the panic message as `error`) and the
-/// sweep continues. A completed simulation whose report says `aborted`
-/// maps to [`CellStatus::Aborted`] with metrics preserved — that is a
-/// *modeled* outcome (the paper's ECPT runs dying above 0.7 FMFI), not a
-/// harness failure. Replicates of one cell are independent work units;
-/// their outcomes fold into the cell's [`CellResult`] with order-invariant
-/// mean/min/max/CI aggregation.
+/// order. Equivalent to [`run_cells_injected`] with no fault plan.
 pub fn run_cells_with<F>(
     specs: &[CellSpec],
     opts: &RunOptions,
@@ -123,56 +163,133 @@ pub fn run_cells_with<F>(
     progress: &(dyn Fn(Progress) + Sync),
 ) -> Vec<CellResult>
 where
-    F: Fn(&CellSpec) -> SimReport + Sync,
+    F: Fn(&CellSpec) -> SimReport + Send + Sync + 'static,
+{
+    run_cells_injected(specs, opts, None, runner, progress)
+}
+
+/// Shared state between the collector/monitor and the detached workers.
+struct Shared<F> {
+    specs: Vec<CellSpec>,
+    seeds: usize,
+    units: usize,
+    next: AtomicUsize,
+    runner: F,
+    fault: Option<FaultPlan>,
+    /// Start instant of each currently running unit (index = unit).
+    /// `None` = not started, finished, or already abandoned.
+    started: Mutex<Vec<Option<Instant>>>,
+}
+
+/// Runs every cell (× replicates) with an optional [`FaultPlan`] injected
+/// between the engine and the cell body.
+///
+/// The body runs under `catch_unwind`: a panic fails that replicate
+/// (status [`CellStatus::Failed`], the panic message as `error`) and the
+/// sweep continues. A completed simulation whose report says `aborted`
+/// maps to [`CellStatus::Aborted`] with metrics preserved — that is a
+/// *modeled* outcome (the paper's ECPT runs dying above 0.7 FMFI), not a
+/// harness failure. With [`RunOptions::timeout`] set, a unit that exceeds
+/// the deadline is marked [`CellStatus::TimedOut`], its worker abandoned
+/// and replaced (see the module docs). Replicates of one cell are
+/// independent work units; their outcomes fold into the cell's
+/// [`CellResult`] with order-invariant mean/min/max/CI aggregation.
+pub fn run_cells_injected<F>(
+    specs: &[CellSpec],
+    opts: &RunOptions,
+    fault: Option<&FaultPlan>,
+    runner: F,
+    progress: &(dyn Fn(Progress) + Sync),
+) -> Vec<CellResult>
+where
+    F: Fn(&CellSpec) -> SimReport + Send + Sync + 'static,
 {
     let seeds = opts.effective_seeds() as usize;
     let units = specs.len() * seeds;
     let jobs = opts.effective_jobs(units);
-    let next = AtomicUsize::new(0);
+    let shared = Arc::new(Shared {
+        specs: specs.to_vec(),
+        seeds,
+        units,
+        next: AtomicUsize::new(0),
+        runner,
+        fault: fault.cloned(),
+        started: Mutex::new(vec![None; units]),
+    });
+
+    // The collector keeps its own sender alive so the channel never
+    // disconnects while replacement workers may still be spawned.
     let (tx, rx) = mpsc::channel::<(usize, RepResult)>();
-    let runner = &runner;
-    let next = &next;
+    let mut spawned = 0usize;
+    let mut spawn_worker = |shared: &Arc<Shared<F>>, tx: &mpsc::Sender<(usize, RepResult)>| {
+        let shared = Arc::clone(shared);
+        let tx = tx.clone();
+        std::thread::Builder::new()
+            .name(format!("{WORKER_THREAD_PREFIX}-{spawned}"))
+            .spawn(move || worker(&shared, &tx))
+            .expect("spawn lab worker");
+        spawned += 1;
+    };
+    for _ in 0..jobs.min(units) {
+        spawn_worker(&shared, &tx);
+    }
 
     let mut slots: Vec<Vec<Option<RepResult>>> =
         (0..specs.len()).map(|_| vec![None; seeds]).collect();
-    std::thread::scope(|scope| {
-        for worker in 0..jobs {
-            let tx = tx.clone();
-            std::thread::Builder::new()
-                .name(format!("{WORKER_THREAD_PREFIX}-{worker}"))
-                .spawn_scoped(scope, move || loop {
-                    let u = next.fetch_add(1, Ordering::Relaxed);
-                    if u >= units {
-                        break;
+    let mut filled = 0usize;
+    while filled < units {
+        let received = match opts.timeout {
+            None => rx.recv().ok(),
+            Some(timeout) => {
+                let wait = next_expiry(&shared, timeout).unwrap_or(MONITOR_POLL);
+                match rx.recv_timeout(wait.clamp(Duration::from_millis(1), MONITOR_POLL.max(wait)))
+                {
+                    Ok(r) => Some(r),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        unreachable!("collector holds a sender")
                     }
+                }
+            }
+        };
+        let mut finished: Vec<(usize, RepResult)> = Vec::new();
+        match received {
+            Some(unit_result) => finished.push(unit_result),
+            None => {
+                // Monitor tick: abandon every unit past its deadline and
+                // respawn a worker per abandoned slot.
+                let timeout = opts.timeout.expect("ticks only happen with a deadline");
+                for u in expired_units(&shared, timeout) {
                     let (cell, rep) = (u / seeds, (u % seeds) as u32);
-                    let result = execute(&specs[cell].replicate(rep), rep, runner);
-                    if tx.send((cell, result)).is_err() {
-                        break;
-                    }
-                })
-                .expect("spawn lab worker");
+                    finished.push((u, timed_out(&shared.specs[cell], rep, timeout)));
+                    spawn_worker(&shared, &tx);
+                }
+            }
         }
-        drop(tx);
-        let mut done = 0;
-        while let Ok((cell, result)) = rx.recv() {
-            done += 1;
-            let id = if result.replicate == 0 {
+        for (u, result) in finished {
+            let (cell, rep) = (u / seeds, (u % seeds) as u32);
+            if slots[cell][rep as usize].is_some() {
+                // A late result from an abandoned worker: the timed-out
+                // record already stands; keep reports deterministic.
+                continue;
+            }
+            filled += 1;
+            let id = if rep == 0 {
                 specs[cell].id()
             } else {
-                format!("{}#r{}", specs[cell].id(), result.replicate)
+                format!("{}#r{}", specs[cell].id(), rep)
             };
             progress(Progress {
-                done,
+                done: filled,
                 total: units,
                 id,
                 status: result.status,
                 wall_millis: result.wall_millis,
             });
-            let rep = result.replicate as usize;
-            slots[cell][rep] = Some(result);
+            slots[cell][rep as usize] = Some(result);
         }
-    });
+    }
+
     specs
         .iter()
         .zip(slots)
@@ -186,12 +303,91 @@ where
         .collect()
 }
 
-fn execute<F>(spec: &CellSpec, replicate: u32, runner: &F) -> RepResult
+/// The detached worker loop: claim a unit, register its start, run it,
+/// deliver the result. Exits when the queue drains or the collector went
+/// away (a late send after abandonment fails harmlessly).
+fn worker<F>(shared: &Shared<F>, tx: &mpsc::Sender<(usize, RepResult)>)
 where
-    F: Fn(&CellSpec) -> SimReport + Sync,
+    F: Fn(&CellSpec) -> SimReport + Send + Sync,
+{
+    loop {
+        let u = shared.next.fetch_add(1, Ordering::Relaxed);
+        if u >= shared.units {
+            break;
+        }
+        let (cell, rep) = (u / shared.seeds, (u % shared.seeds) as u32);
+        let spec = shared.specs[cell].replicate(rep);
+        let kind = shared
+            .fault
+            .as_ref()
+            .and_then(|p| p.fault_for(&spec.id(), rep, shared.seeds as u32));
+        shared.started.lock().unwrap()[u] = Some(Instant::now());
+        let result = execute(&spec, rep, &shared.runner, kind);
+        shared.started.lock().unwrap()[u] = None;
+        if tx.send((u, result)).is_err() {
+            break;
+        }
+    }
+}
+
+/// Time until the soonest deadline among running units (`None` when no
+/// unit is currently running).
+fn next_expiry<F>(shared: &Shared<F>, timeout: Duration) -> Option<Duration> {
+    let started = shared.started.lock().unwrap();
+    let now = Instant::now();
+    started
+        .iter()
+        .flatten()
+        .map(|s| (*s + timeout).saturating_duration_since(now))
+        .min()
+}
+
+/// Drains and returns every unit past its deadline, clearing its start
+/// entry so it fires exactly once.
+fn expired_units<F>(shared: &Shared<F>, timeout: Duration) -> Vec<usize> {
+    let mut started = shared.started.lock().unwrap();
+    let now = Instant::now();
+    let mut expired = Vec::new();
+    for (u, slot) in started.iter_mut().enumerate() {
+        if slot.is_some_and(|s| now.saturating_duration_since(s) >= timeout) {
+            *slot = None;
+            expired.push(u);
+        }
+    }
+    expired
+}
+
+/// The deterministic record of a unit the watchdog abandoned: status plus
+/// the *configured* deadline. Measured wall-clock never appears, so the
+/// serialized report is identical for every `--jobs` value.
+fn timed_out(spec: &CellSpec, replicate: u32, timeout: Duration) -> RepResult {
+    RepResult {
+        replicate,
+        seed: spec.replicate_seed(replicate),
+        status: CellStatus::TimedOut,
+        error: Some(format!(
+            "replicate exceeded the {}s deadline; worker abandoned",
+            timeout_label(timeout)
+        )),
+        metrics: None,
+        wall_millis: timeout.as_millis() as u64,
+    }
+}
+
+fn execute<F>(spec: &CellSpec, replicate: u32, runner: &F, injected: Option<FaultKind>) -> RepResult
+where
+    F: Fn(&CellSpec) -> SimReport,
 {
     let start = Instant::now();
-    let outcome = catch_unwind(AssertUnwindSafe(|| runner(spec)));
+    let outcome = catch_unwind(AssertUnwindSafe(|| match injected {
+        Some(FaultKind::Panic) => panic!(
+            "injected fault: panic in {} replicate {replicate}",
+            spec.id()
+        ),
+        Some(FaultKind::Hang) => fault::hang(),
+        Some(FaultKind::Poison) => fault::poisoned_report(spec),
+        None => runner(spec),
+    }));
     let wall_millis = start.elapsed().as_millis() as u64;
     match outcome {
         Ok(report) => {
@@ -326,6 +522,91 @@ mod tests {
     }
 
     #[test]
+    fn a_hanging_cell_times_out_alone_and_the_sweep_completes() {
+        let specs = specs();
+        let stall = |spec: &CellSpec| -> SimReport {
+            if spec.app == App::Gups && spec.thp && spec.kind == PtKind::Ecpt {
+                fault::hang();
+            }
+            fake_sim(spec)
+        };
+        let opts = RunOptions {
+            timeout: Some(Duration::from_millis(150)),
+            ..RunOptions::with_jobs(2)
+        };
+        let results = run_cells_with(&specs, &opts, stall, &|_| {});
+        assert_eq!(results.len(), specs.len());
+        let timed: Vec<_> = results
+            .iter()
+            .filter(|r| r.status == CellStatus::TimedOut)
+            .collect();
+        assert_eq!(timed.len(), 1);
+        let t = timed[0];
+        assert!(t.metrics.is_none());
+        assert_eq!(
+            t.error.as_deref(),
+            Some("replicate exceeded the 0.15s deadline; worker abandoned"),
+            "the record carries the configured deadline, not wall-clock"
+        );
+        let ok = results
+            .iter()
+            .filter(|r| r.status == CellStatus::Ok)
+            .count();
+        assert_eq!(ok, results.len() - 1, "every other cell completes");
+    }
+
+    #[test]
+    fn a_hang_on_the_only_worker_is_rescued_by_a_respawn() {
+        // jobs=1 is the hard case: the single worker hangs on an early
+        // unit, and only the watchdog's replacement finishes the queue.
+        let specs = specs();
+        let first = specs[0].clone();
+        let stall = move |spec: &CellSpec| -> SimReport {
+            if spec.id() == first.id() {
+                fault::hang();
+            }
+            fake_sim(spec)
+        };
+        let opts = RunOptions {
+            timeout: Some(Duration::from_millis(100)),
+            ..RunOptions::with_jobs(1)
+        };
+        let results = run_cells_with(&specs, &opts, stall, &|_| {});
+        assert_eq!(results[0].status, CellStatus::TimedOut);
+        assert!(results[1..].iter().all(|r| r.status == CellStatus::Ok));
+    }
+
+    #[test]
+    fn timed_out_sweeps_are_deterministic_across_jobs() {
+        let specs = specs();
+        let run = |jobs| {
+            let stall = |spec: &CellSpec| -> SimReport {
+                if spec.app == App::Bfs && spec.kind == PtKind::MeHpt && !spec.thp {
+                    fault::hang();
+                }
+                fake_sim(spec)
+            };
+            let opts = RunOptions {
+                jobs,
+                seeds: 2,
+                timeout: Some(Duration::from_millis(120)),
+            };
+            run_cells_with(&specs, &opts, stall, &|_| {})
+        };
+        let serial = run(1);
+        let parallel = run(6);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.status, b.status, "{}", a.spec.id());
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.metrics, b.metrics);
+            for (ra, rb) in a.replicates.iter().zip(&b.replicates) {
+                assert_eq!(ra.status, rb.status);
+                assert_eq!(ra.error, rb.error);
+            }
+        }
+    }
+
+    #[test]
     fn progress_reports_every_cell_exactly_once() {
         use std::sync::Mutex;
         let specs = specs();
@@ -346,7 +627,11 @@ mod tests {
     #[test]
     fn replicated_runs_aggregate_and_stay_deterministic_across_jobs() {
         let specs = specs();
-        let opts = |jobs| RunOptions { jobs, seeds: 3 };
+        let opts = |jobs| RunOptions {
+            jobs,
+            seeds: 3,
+            timeout: None,
+        };
         let serial = run_cells_with(&specs, &opts(1), fake_sim, &|_| {});
         let parallel = run_cells_with(&specs, &opts(7), fake_sim, &|_| {});
         assert_eq!(serial.len(), specs.len());
@@ -380,7 +665,12 @@ mod tests {
         use std::sync::Mutex;
         let specs = specs();
         let seen = Mutex::new(Vec::new());
-        run_cells_with(&specs, &RunOptions { jobs: 4, seeds: 2 }, fake_sim, &|p| {
+        let opts = RunOptions {
+            jobs: 4,
+            seeds: 2,
+            timeout: None,
+        };
+        run_cells_with(&specs, &opts, fake_sim, &|p| {
             seen.lock().unwrap().push((p.total, p.id));
         });
         let seen = seen.into_inner().unwrap();
@@ -398,6 +688,12 @@ mod tests {
         assert!(opts.effective_jobs(1000) >= 1);
         assert_eq!(opts.effective_jobs(0), 1);
         assert_eq!(RunOptions::with_jobs(64).effective_jobs(4), 4);
+    }
+
+    #[test]
+    fn timeout_labels_are_exact_decimals() {
+        assert_eq!(timeout_label(Duration::from_secs(2)), "2");
+        assert_eq!(timeout_label(Duration::from_millis(150)), "0.15");
     }
 
     #[test]

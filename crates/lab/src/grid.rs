@@ -126,6 +126,9 @@ pub struct Tuning {
     pub max_accesses: Option<u64>,
     /// Base seed every per-cell seed is derived from.
     pub base_seed: u64,
+    /// Watchdog deadline per work unit, in whole seconds (`--timeout`);
+    /// `None` disables the watchdog. Presets may override this default.
+    pub timeout_secs: Option<u64>,
 }
 
 impl Default for Tuning {
@@ -135,6 +138,7 @@ impl Default for Tuning {
             mem_bytes: 64 * GIB,
             max_accesses: None,
             base_seed: 0x5eed,
+            timeout_secs: None,
         }
     }
 }

@@ -45,6 +45,23 @@ impl Json {
         Json::Arr(v.iter().map(|&x| Json::UInt(x)).collect())
     }
 
+    /// An optional string: `null` when absent. The idiom for nullable
+    /// report fields (`error`, `fault`).
+    pub fn opt_str(v: Option<&str>) -> Json {
+        match v {
+            Some(s) => Json::Str(s.to_string()),
+            None => Json::Null,
+        }
+    }
+
+    /// An optional number: `null` when absent (`timeout_secs`).
+    pub fn opt_num(v: Option<f64>) -> Json {
+        match v {
+            Some(n) => Json::Num(n),
+            None => Json::Null,
+        }
+    }
+
     /// Parses a JSON document. Errors carry the byte offset and a short
     /// description — enough to diagnose a truncated or hand-edited report.
     pub fn parse(text: &str) -> Result<Json, String> {

@@ -12,10 +12,16 @@
 //! 2. **Panic isolation.** Each replicate runs under `catch_unwind`; one
 //!    crashing simulation marks that cell `failed` in the report while the
 //!    rest of the sweep completes.
-//! 3. **Structured output.** Per-replicate progress streams to stderr;
+//! 3. **Bounded execution.** With a watchdog deadline (`--timeout`), a
+//!    hung replicate is marked `timed_out` — recording the *configured*
+//!    deadline, never wall-clock — its worker is abandoned and respawned,
+//!    and the sweep completes. Deterministic fault injection
+//!    (`--fault`, [`fault::FaultPlan`]) turns these isolation guarantees
+//!    into testable assertions.
+//! 4. **Structured output.** Per-replicate progress streams to stderr;
 //!    rendered paper tables go to stdout; machine-readable `report.json`
-//!    and `report.csv` (schema v2: per-cell replicate outcomes plus
-//!    mean/min/max/95% CI aggregates) land atomically under
+//!    and `report.csv` (schema v3: per-cell replicate outcomes, failure
+//!    records, mean/min/max/95% CI aggregates) land atomically under
 //!    `target/lab/<preset>/`.
 //!
 //! Everything is std-only: the workspace builds with no crates-io
@@ -36,6 +42,8 @@
 //!     scale: 0.005,
 //!     base_seed: 0x5eed,
 //!     seeds: 1,
+//!     timeout_secs: None,
+//!     fault: None,
 //!     cells,
 //! };
 //! print!("{}", Preset::Fig16.render(&report));
@@ -44,6 +52,7 @@
 pub mod cli;
 pub mod diff;
 pub mod engine;
+pub mod fault;
 pub mod fmt;
 pub mod grid;
 pub mod json;
@@ -52,8 +61,11 @@ pub mod report;
 pub mod stats;
 
 pub use diff::{DiffOptions, DiffReport};
-pub use engine::{run_cells, run_cells_with, Progress, RunOptions};
+pub use engine::{run_cells, run_cells_injected, run_cells_with, Progress, RunOptions};
+pub use fault::{FaultKind, FaultPlan};
 pub use grid::{CellSpec, ExperimentGrid, FmfiAxis, Tuning, Variant};
 pub use presets::{Preset, PRESETS};
-pub use report::{CellMetrics, CellResult, CellStatus, LabReport, RepResult, SCHEMA_VERSION};
+pub use report::{
+    CellMetrics, CellResult, CellStatus, LabReport, RepResult, StatusCounts, SCHEMA_VERSION,
+};
 pub use stats::{CellStats, MetricStats};

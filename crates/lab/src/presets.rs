@@ -104,6 +104,18 @@ impl Preset {
         }
     }
 
+    /// The watchdog default for this preset (whole seconds), applied when
+    /// the user passes no `--timeout`. The fragmentation sweep is the one
+    /// preset whose ECPT cuckoo-insertion paths can degenerate into
+    /// unbounded resize loops (the paper's Sec. VII regime), so it runs
+    /// under a generous bound by default; everything else runs unwatched.
+    pub fn default_timeout_secs(self) -> Option<u64> {
+        match self {
+            Preset::Fig7 => Some(600),
+            _ => None,
+        }
+    }
+
     /// The cells this preset needs. Empty for the analytic [`Preset::Table2`].
     pub fn grid(self) -> ExperimentGrid {
         let all = App::all().to_vec();
@@ -317,6 +329,7 @@ fn render_fig7(r: &LabReport, out: &mut String) {
                 });
                 let text = match cell {
                     Some(c) if c.status == CellStatus::Failed => "failed".to_string(),
+                    Some(c) if c.status == CellStatus::TimedOut => "timeout".to_string(),
                     Some(c) => {
                         let aborted = c.status == CellStatus::Aborted;
                         if aborted && onset.is_none() {
@@ -969,6 +982,8 @@ mod tests {
             scale: 1.0,
             base_seed: 0x5eed,
             seeds: 1,
+            timeout_secs: None,
+            fault: None,
             cells: vec![],
         };
         let s = Preset::Table2.render(&report);
@@ -983,6 +998,8 @@ mod tests {
             scale: 1.0,
             base_seed: 0,
             seeds: 1,
+            timeout_secs: None,
+            fault: None,
             cells: vec![],
         };
         for p in PRESETS {

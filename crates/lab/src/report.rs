@@ -1,11 +1,14 @@
 //! Cell results and the structured sweep report (JSON + CSV).
 //!
-//! Schema v2 (see [`SCHEMA_VERSION`]): a report carries the replication
-//! factor (`seeds`), each cell lists its per-replicate outcomes and an
-//! aggregated [`CellStats`] block (mean/min/max/95% CI per headline
-//! metric), and the whole document stays a pure function of the grid and
-//! the seeds — byte-identical for every `--jobs` value, diffable with
-//! `mehpt-lab diff`.
+//! Schema v3 (see [`SCHEMA_VERSION`]): a report carries the replication
+//! factor (`seeds`), the failure-handling configuration (`timeout_secs`,
+//! the active `fault` spec), each cell lists its per-replicate outcomes
+//! and an aggregated [`CellStats`] block (mean/min/max/95% CI per
+//! headline metric), and the whole document stays a pure function of the
+//! grid, the seeds and that configuration — byte-identical for every
+//! `--jobs` value, diffable with `mehpt-lab diff`. Failure records are
+//! deliberately configuration-shaped: a timed-out replicate serializes
+//! its status and the *configured* deadline, never measured wall-clock.
 
 use mehpt_sim::{PtKind, SimReport};
 
@@ -13,9 +16,11 @@ use crate::grid::{CellSpec, Variant};
 use crate::json::Json;
 use crate::stats::CellStats;
 
-/// Version stamp of the serialized JSON report. Bumped to 2 when the
-/// replication axis added `seeds`, per-cell `replicates` and `stats`.
-pub const SCHEMA_VERSION: u64 = 2;
+/// Version stamp of the serialized JSON report. Bumped to 3 when failure
+/// records landed: the `timed_out` status, the report-level `timeout_secs`
+/// and `fault` fields, and the `summary.timed_out` count. (v2 added
+/// `seeds`, per-cell `replicates` and `stats`.)
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// How a cell ended.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -28,6 +33,9 @@ pub enum CellStatus {
     /// The cell panicked; the panic was caught and the rest of the sweep
     /// continued. No metrics.
     Failed,
+    /// The cell exceeded the configured watchdog deadline; its worker was
+    /// abandoned and the rest of the sweep continued. No metrics.
+    TimedOut,
 }
 
 impl CellStatus {
@@ -37,7 +45,14 @@ impl CellStatus {
             CellStatus::Ok => "ok",
             CellStatus::Aborted => "aborted",
             CellStatus::Failed => "failed",
+            CellStatus::TimedOut => "timed_out",
         }
+    }
+
+    /// Whether this status is a harness failure (no usable metrics), as
+    /// opposed to a completed or modeled-abort outcome.
+    pub fn is_failure(self) -> bool {
+        matches!(self, CellStatus::Failed | CellStatus::TimedOut)
     }
 }
 
@@ -201,13 +216,7 @@ impl RepResult {
             ("replicate", Json::UInt(self.replicate as u64)),
             ("seed", Json::UInt(self.seed)),
             ("status", Json::Str(self.status.label().to_string())),
-            (
-                "error",
-                match &self.error {
-                    Some(e) => Json::Str(e.clone()),
-                    None => Json::Null,
-                },
-            ),
+            ("error", Json::opt_str(self.error.as_deref())),
         ])
     }
 }
@@ -218,6 +227,7 @@ pub struct CellResult {
     /// What was run.
     pub spec: CellSpec,
     /// Aggregate status: [`CellStatus::Failed`] if any replicate panicked,
+    /// else [`CellStatus::TimedOut`] if any replicate hit the watchdog,
     /// else [`CellStatus::Aborted`] if any replicate hit a modeled abort,
     /// else [`CellStatus::Ok`].
     pub status: CellStatus,
@@ -246,6 +256,8 @@ impl CellResult {
         reps.sort_by_key(|r| r.replicate);
         let status = if reps.iter().any(|r| r.status == CellStatus::Failed) {
             CellStatus::Failed
+        } else if reps.iter().any(|r| r.status == CellStatus::TimedOut) {
+            CellStatus::TimedOut
         } else if reps.iter().any(|r| r.status == CellStatus::Aborted) {
             CellStatus::Aborted
         } else {
@@ -283,13 +295,7 @@ impl CellResult {
             ("graph_nodes", Json::UInt(s.graph_nodes)),
             ("seed", Json::UInt(s.seed)),
             ("status", Json::Str(self.status.label().to_string())),
-            (
-                "error",
-                match &self.error {
-                    Some(e) => Json::Str(e.clone()),
-                    None => Json::Null,
-                },
-            ),
+            ("error", Json::opt_str(self.error.as_deref())),
             (
                 "replicates",
                 Json::Arr(self.replicates.iter().map(RepResult::to_json).collect()),
@@ -312,6 +318,27 @@ impl CellResult {
     }
 }
 
+/// Per-status cell tallies of a sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatusCounts {
+    /// Cells that completed normally.
+    pub ok: usize,
+    /// Cells that hit a modeled abort.
+    pub aborted: usize,
+    /// Cells with a panicked replicate.
+    pub failed: usize,
+    /// Cells with a watchdog-abandoned replicate (and no panicked one).
+    pub timed_out: usize,
+}
+
+impl StatusCounts {
+    /// Harness failures: panicked plus timed-out cells. Non-zero makes
+    /// the CLI exit 1.
+    pub fn bad(&self) -> usize {
+        self.failed + self.timed_out
+    }
+}
+
 /// A whole sweep's structured report: every cell plus aggregate counts.
 #[derive(Clone, Debug)]
 pub struct LabReport {
@@ -323,19 +350,26 @@ pub struct LabReport {
     pub base_seed: u64,
     /// Replicates per cell (`--seeds`; 1 = the classic single-seed sweep).
     pub seeds: u32,
+    /// The watchdog deadline the sweep ran under, in seconds
+    /// ([`None`] = no watchdog). Configuration, not measurement: this is
+    /// the only duration that ever enters the serialized report.
+    pub timeout_secs: Option<f64>,
+    /// The active fault-injection spec ([`None`] outside fault testing).
+    pub fault: Option<String>,
     /// Per-cell outcomes, in grid-expansion order.
     pub cells: Vec<CellResult>,
 }
 
 impl LabReport {
-    /// `(ok, aborted, failed)` cell counts.
-    pub fn counts(&self) -> (usize, usize, usize) {
-        let mut c = (0, 0, 0);
+    /// Per-status cell counts.
+    pub fn counts(&self) -> StatusCounts {
+        let mut c = StatusCounts::default();
         for cell in &self.cells {
             match cell.status {
-                CellStatus::Ok => c.0 += 1,
-                CellStatus::Aborted => c.1 += 1,
-                CellStatus::Failed => c.2 += 1,
+                CellStatus::Ok => c.ok += 1,
+                CellStatus::Aborted => c.aborted += 1,
+                CellStatus::Failed => c.failed += 1,
+                CellStatus::TimedOut => c.timed_out += 1,
             }
         }
         c
@@ -396,9 +430,10 @@ impl LabReport {
     }
 
     /// The serialized JSON report. Deterministic: a pure function of the
-    /// cell specs and their simulation results.
+    /// cell specs, the failure-handling configuration and the simulation
+    /// results.
     pub fn to_json(&self) -> String {
-        let (ok, aborted, failed) = self.counts();
+        let counts = self.counts();
         let total_cycles: u64 = self
             .cells
             .iter()
@@ -417,13 +452,16 @@ impl LabReport {
             ("scale", Json::Num(self.scale)),
             ("base_seed", Json::UInt(self.base_seed)),
             ("seeds", Json::UInt(self.seeds as u64)),
+            ("timeout_secs", Json::opt_num(self.timeout_secs)),
+            ("fault", Json::opt_str(self.fault.as_deref())),
             (
                 "summary",
                 Json::obj(vec![
                     ("cells", Json::UInt(self.cells.len() as u64)),
-                    ("ok", Json::UInt(ok as u64)),
-                    ("aborted", Json::UInt(aborted as u64)),
-                    ("failed", Json::UInt(failed as u64)),
+                    ("ok", Json::UInt(counts.ok as u64)),
+                    ("aborted", Json::UInt(counts.aborted as u64)),
+                    ("failed", Json::UInt(counts.failed as u64)),
+                    ("timed_out", Json::UInt(counts.timed_out as u64)),
                     ("total_cycles", Json::UInt(total_cycles)),
                     ("total_accesses", Json::UInt(total_accesses)),
                 ]),
@@ -571,6 +609,8 @@ mod tests {
             scale: 0.005,
             base_seed: 0x5eed,
             seeds: 1,
+            timeout_secs: None,
+            fault: None,
             cells,
         }
     }
@@ -582,10 +622,48 @@ mod tests {
         a.cells[0].wall_millis = 1;
         b.cells[0].wall_millis = 99_999;
         assert_eq!(a.to_json(), b.to_json());
-        assert!(a.to_json().contains("\"schema_version\": 2"));
+        assert!(a.to_json().contains("\"schema_version\": 3"));
+        assert!(a.to_json().contains("\"timeout_secs\": null"));
+        assert!(a.to_json().contains("\"fault\": null"));
+        assert!(a.to_json().contains("\"timed_out\": 0"));
         assert!(a.to_json().contains("\"status\": \"failed\""));
         assert!(a.to_json().contains("\"metrics\": null"));
         assert!(a.to_json().contains("\"stats\": null"));
+    }
+
+    #[test]
+    fn failure_configuration_serializes_and_timed_out_outranks_aborted() {
+        let mut r = fake_report();
+        r.timeout_secs = Some(2.0);
+        r.fault = Some("hang:@2".to_string());
+        let spec = r.cells[0].spec.clone();
+        let rep = |r: u32, status: CellStatus| RepResult {
+            replicate: r,
+            seed: spec.replicate_seed(r),
+            status,
+            error: status
+                .is_failure()
+                .then(|| "replicate exceeded the 2s deadline; worker abandoned".to_string()),
+            metrics: (!status.is_failure()).then(|| fake_metrics(1000)),
+            wall_millis: 2000,
+        };
+        r.cells[0] = CellResult::from_replicates(
+            spec.clone(),
+            vec![rep(0, CellStatus::Aborted), rep(1, CellStatus::TimedOut)],
+        );
+        assert_eq!(r.cells[0].status, CellStatus::TimedOut);
+        let json = r.to_json();
+        assert!(json.contains("\"timeout_secs\": 2"));
+        assert!(json.contains("\"fault\": \"hang:@2\""));
+        assert!(json.contains("\"status\": \"timed_out\""));
+        assert!(json.contains("\"timed_out\": 1"));
+        assert!(json.contains("worker abandoned"));
+        let counts = r.counts();
+        assert_eq!(counts.timed_out, 1);
+        assert_eq!(counts.bad(), 2, "timed-out and failed both count as bad");
+        // A timed-out sibling still leaves the surviving replicate's
+        // stats in place.
+        assert_eq!(r.cells[0].stats.as_ref().unwrap().replicates, 1);
     }
 
     #[test]
@@ -621,7 +699,7 @@ mod tests {
 
         // A failed primary replicate leaves metrics None but stats intact.
         let cell = CellResult::from_replicates(
-            spec,
+            spec.clone(),
             vec![rep(0, 0, CellStatus::Failed), rep(1, 1100, CellStatus::Ok)],
         );
         assert_eq!(cell.status, CellStatus::Failed);
@@ -641,7 +719,17 @@ mod tests {
     #[test]
     fn counts_and_speedup() {
         let r = fake_report();
-        assert_eq!(r.counts(), (1, 0, 1));
+        let counts = r.counts();
+        assert_eq!(
+            counts,
+            StatusCounts {
+                ok: 1,
+                aborted: 0,
+                failed: 1,
+                timed_out: 0
+            }
+        );
+        assert_eq!(counts.bad(), 1);
         let fast = fake_metrics(100);
         let slow = fake_metrics(300);
         assert!((fast.speedup_over(&slow) - 3.0).abs() < 1e-9);

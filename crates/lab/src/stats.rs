@@ -43,6 +43,10 @@ pub struct MetricStats {
     pub max: f64,
     /// Half-width of the 95% confidence interval around the mean
     /// (`t * s / sqrt(n)`; 0.0 with a single replicate).
+    ///
+    /// Degrades gracefully under partial failure: replicates that failed
+    /// or timed out contribute no value, so a cell with fewer than two
+    /// surviving replicates reports a 0.0 band — never NaN.
     pub ci95: f64,
 }
 
@@ -61,7 +65,14 @@ impl MetricStats {
         let mean = sorted.iter().sum::<f64>() / n;
         let ci95 = if sorted.len() > 1 {
             let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0);
-            t_critical_95(sorted.len()) * (var / n).sqrt()
+            let half = t_critical_95(sorted.len()) * (var / n).sqrt();
+            // Serialized as JSON, where non-finite numbers become null and
+            // break the stats contract — degenerate inputs get no band.
+            if half.is_finite() {
+                half
+            } else {
+                0.0
+            }
         } else {
             0.0
         };

@@ -1,11 +1,19 @@
-//! Golden-file pin of the schema v2 JSON report.
+//! Golden-file pins of the serialized JSON report schema.
 //!
-//! The committed `tests/golden/report_v2.json` is the contract external
-//! tooling parses: `schema_version`, `seeds`, per-cell `replicates` and
-//! `stats` blocks. Any serialization change shows up as a diff against the
-//! golden file; regenerate deliberately with
-//! `MEHPT_BLESS=1 cargo test -p mehpt-lab --test golden`.
+//! Two contracts live here:
+//!
+//! * `tests/golden/report_v3.json` — the **current** schema, byte-pinned
+//!   against [`golden_report`]: failure records (a timed-out, a panicked
+//!   and an ok cell in one report), the report-level `timeout_secs` and
+//!   `fault` configuration, and the `summary.timed_out` count. Any
+//!   serialization change shows up as a diff; regenerate deliberately
+//!   with `MEHPT_BLESS=1 cargo test -p mehpt-lab --test golden`.
+//! * `tests/golden/report_v2.json` — a **frozen fixture** from before
+//!   failure records existed. The writer no longer produces it (blessing
+//!   never touches it); it pins the *reader* side: `mehpt-lab diff` must
+//!   keep accepting v2 documents through its fallback path.
 
+use mehpt_lab::diff::{diff_texts, DiffOptions};
 use mehpt_lab::grid::{ExperimentGrid, Tuning};
 use mehpt_lab::json::Json;
 use mehpt_lab::report::{CellMetrics, CellResult, CellStatus, LabReport, RepResult};
@@ -44,8 +52,14 @@ fn metrics(total_cycles: u64) -> CellMetrics {
     }
 }
 
+/// One ok cell, one with a panicked replicate, one with a timed-out
+/// replicate — the full failure-record shape in a single report.
 fn golden_report() -> LabReport {
-    let grid = ExperimentGrid::paper(vec![App::Gups, App::Bfs], vec![PtKind::MeHpt], vec![false]);
+    let grid = ExperimentGrid::paper(
+        vec![App::Gups, App::Bfs, App::Mummer],
+        vec![PtKind::MeHpt],
+        vec![false],
+    );
     let specs = grid.expand(&Tuning::quick());
     let cells = specs
         .into_iter()
@@ -53,19 +67,27 @@ fn golden_report() -> LabReport {
         .map(|(i, spec)| {
             let reps = (0..3u32)
                 .map(|r| {
-                    // Cell 1's replicate 2 fails, exercising the mixed-status
-                    // aggregate and the error field.
-                    let failed = i == 1 && r == 2;
+                    // Cell 1's replicate 2 panics; cell 2's replicate 1
+                    // hits the watchdog. Cell 0 stays healthy.
+                    let status = match (i, r) {
+                        (1, 2) => CellStatus::Failed,
+                        (2, 1) => CellStatus::TimedOut,
+                        _ => CellStatus::Ok,
+                    };
+                    let error = match status {
+                        CellStatus::Failed => Some("injected golden failure".to_string()),
+                        CellStatus::TimedOut => {
+                            Some("replicate exceeded the 2s deadline; worker abandoned".to_string())
+                        }
+                        _ => None,
+                    };
                     RepResult {
                         replicate: r,
                         seed: spec.replicate_seed(r),
-                        status: if failed {
-                            CellStatus::Failed
-                        } else {
-                            CellStatus::Ok
-                        },
-                        error: failed.then(|| "injected golden failure".to_string()),
-                        metrics: (!failed).then(|| metrics(10_000 + 100 * (i as u64 + r as u64))),
+                        status,
+                        metrics: (status == CellStatus::Ok)
+                            .then(|| metrics(10_000 + 100 * (i as u64 + r as u64))),
+                        error,
                         wall_millis: 1,
                     }
                 })
@@ -78,51 +100,97 @@ fn golden_report() -> LabReport {
         scale: 0.005,
         base_seed: 0x5eed,
         seeds: 3,
+        timeout_secs: Some(2.0),
+        fault: Some("panic:bfs,hang:mummer".into()),
         cells,
     }
 }
 
-#[test]
-fn report_v2_json_matches_the_golden_file() {
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests")
         .join("golden")
-        .join("report_v2.json");
+        .join(name)
+}
+
+#[test]
+fn report_v3_json_matches_the_golden_file() {
+    let path = golden_path("report_v3.json");
     let rendered = golden_report().to_json();
     if std::env::var_os("MEHPT_BLESS").is_some() {
         std::fs::write(&path, &rendered).expect("write golden file");
         return;
     }
     let golden = std::fs::read_to_string(&path).expect(
-        "missing tests/golden/report_v2.json — regenerate with \
+        "missing tests/golden/report_v3.json — regenerate with \
          MEHPT_BLESS=1 cargo test -p mehpt-lab --test golden",
     );
     assert_eq!(
         rendered, golden,
-        "schema v2 serialization drifted from the golden file; if the \
+        "schema v3 serialization drifted from the golden file; if the \
          change is intentional, re-bless with MEHPT_BLESS=1"
     );
 }
 
 #[test]
-fn golden_file_parses_and_carries_the_v2_shape() {
+fn golden_file_pins_the_v3_failure_record_shape() {
     let doc = Json::parse(&golden_report().to_json()).expect("report parses");
-    assert_eq!(doc.get("schema_version").and_then(Json::as_f64), Some(2.0));
+    assert_eq!(doc.get("schema_version").and_then(Json::as_f64), Some(3.0));
     assert_eq!(doc.get("seeds").and_then(Json::as_f64), Some(3.0));
+    // The failure-handling configuration is part of the document.
+    assert_eq!(doc.get("timeout_secs").and_then(Json::as_f64), Some(2.0));
+    assert_eq!(
+        doc.get("fault").and_then(Json::as_str),
+        Some("panic:bfs,hang:mummer")
+    );
+    let summary = doc.get("summary").expect("summary");
+    assert_eq!(summary.get("ok").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(summary.get("failed").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(summary.get("timed_out").and_then(Json::as_f64), Some(1.0));
+
     let cells = doc.get("cells").and_then(Json::as_arr).expect("cells");
-    assert_eq!(cells.len(), 2);
+    assert_eq!(cells.len(), 3);
     for cell in cells {
         let reps = cell.get("replicates").and_then(Json::as_arr).expect("reps");
         assert_eq!(reps.len(), 3);
-        let stats = cell.get("stats").expect("stats");
-        let cpa = stats.get("cycles_per_access").expect("cpa block");
-        for field in ["mean", "min", "max", "ci95"] {
-            assert!(cpa.get(field).and_then(Json::as_f64).is_some());
-        }
     }
-    // The mixed-status cell: failed aggregate, 2 metric-bearing replicates.
+    // The panicked cell: failed aggregate, 2 metric-bearing replicates.
     let failed = &cells[1];
     assert_eq!(failed.get("status").and_then(Json::as_str), Some("failed"));
     let stats = failed.get("stats").expect("stats survive a failed rep");
     assert_eq!(stats.get("replicates").and_then(Json::as_f64), Some(2.0));
+    // The timed-out cell: deterministic failure record — status plus the
+    // configured deadline in the error text, never measured wall-clock.
+    let timed = &cells[2];
+    assert_eq!(
+        timed.get("status").and_then(Json::as_str),
+        Some("timed_out")
+    );
+    let rep1 = &timed.get("replicates").and_then(Json::as_arr).unwrap()[1];
+    assert_eq!(rep1.get("status").and_then(Json::as_str), Some("timed_out"));
+    assert_eq!(
+        rep1.get("error").and_then(Json::as_str),
+        Some("replicate exceeded the 2s deadline; worker abandoned")
+    );
+}
+
+#[test]
+fn v2_golden_still_reads_through_the_fallback_path() {
+    // The frozen v2 fixture: parses, identifies as schema 2, and diffs
+    // clean against itself — including its failed cell, which the diff
+    // fallback reader must skip (and count) rather than reject.
+    let text = std::fs::read_to_string(golden_path("report_v2.json"))
+        .expect("tests/golden/report_v2.json is a frozen fixture and must stay committed");
+    let doc = Json::parse(&text).expect("v2 fixture parses");
+    assert_eq!(doc.get("schema_version").and_then(Json::as_f64), Some(2.0));
+    assert!(
+        doc.get("timeout_secs").is_none(),
+        "v2 predates the watchdog"
+    );
+
+    let d = diff_texts(&text, &text, &DiffOptions::default()).expect("v2 diffs");
+    assert!(d.clean(), "{}", d.render());
+    assert_eq!(d.cells_compared, 1, "the ok cell compares field-by-field");
+    assert_eq!(d.cells_skipped, 1, "the failed cell is skipped, not fatal");
+    assert!(d.values_compared > 0);
 }

@@ -113,10 +113,118 @@ fn cell_results_serialize_identically_for_any_arrival_order() {
                 scale: 1.0,
                 base_seed: 0x5eed,
                 seeds: n,
+                timeout_secs: None,
+                fault: None,
                 cells: vec![cell],
             }
             .to_json()
         };
         assert_eq!(report(in_order), report(shuffled));
+    });
+}
+
+#[test]
+fn aggregation_over_failed_replicate_subsets_is_order_invariant() {
+    // A random subset of replicates fails or times out (no metrics), the
+    // rest survive: the aggregate must depend only on *which* replicates
+    // failed, never on the order outcomes were collected in.
+    let grid = ExperimentGrid::paper(vec![App::Bfs], vec![PtKind::MeHpt], vec![false]);
+    let spec = grid.expand(&Tuning::quick()).remove(0);
+    check("failed_subset_order_invariance", 96, |g: &mut Gen| {
+        let n = 2 + g.len(8) as u32;
+        let mut reps: Vec<RepResult> = (0..n)
+            .map(|r| {
+                // ~1 in 3 replicates is a failure; alternate the flavor so
+                // panicked and timed-out records mix in one cell.
+                let status = match g.below(6) {
+                    0 => CellStatus::Failed,
+                    1 => CellStatus::TimedOut,
+                    _ => CellStatus::Ok,
+                };
+                let failed = status != CellStatus::Ok;
+                RepResult {
+                    replicate: r,
+                    seed: spec.replicate_seed(r),
+                    status,
+                    error: failed.then(|| format!("injected {}", status.label())),
+                    metrics: (!failed).then(|| metrics(g)),
+                    wall_millis: g.below(100),
+                }
+            })
+            .collect();
+        let in_order = CellResult::from_replicates(spec.clone(), reps.clone());
+        shuffle(g, &mut reps);
+        let shuffled = CellResult::from_replicates(spec.clone(), reps.clone());
+        assert_eq!(in_order.status, shuffled.status);
+        assert_eq!(in_order.error, shuffled.error, "first error is by index");
+        assert_eq!(in_order.stats, shuffled.stats);
+        let survivors = reps.iter().filter(|r| r.metrics.is_some()).count() as u32;
+        match &in_order.stats {
+            None => assert_eq!(survivors, 0, "stats vanish only when all fail"),
+            Some(st) => assert_eq!(st.replicates, survivors),
+        }
+        let report = |cell: CellResult| {
+            mehpt_lab::LabReport {
+                preset: "prop".into(),
+                scale: 1.0,
+                base_seed: 0x5eed,
+                seeds: n,
+                timeout_secs: Some(2.0),
+                fault: Some("panic:@2".into()),
+                cells: vec![cell],
+            }
+            .to_json()
+        };
+        assert_eq!(report(in_order), report(shuffled));
+    });
+}
+
+#[test]
+fn ci95_degrades_gracefully_under_failures() {
+    // n − failures < 2 ⇒ no confidence band (0.0), never NaN; and every
+    // serialized ci95 stays finite whatever subset of replicates failed.
+    let grid = ExperimentGrid::paper(vec![App::Gups], vec![PtKind::MeHpt], vec![false]);
+    let spec = grid.expand(&Tuning::quick()).remove(0);
+    check("ci95_graceful_degradation", 96, |g: &mut Gen| {
+        let n = 1 + g.len(6) as u32;
+        // Leave 0, 1 or more survivors, chosen at random.
+        let survivors = g.below(u64::from(n) + 1) as u32;
+        let reps: Vec<RepResult> = (0..n)
+            .map(|r| {
+                let failed = r >= survivors;
+                RepResult {
+                    replicate: r,
+                    seed: spec.replicate_seed(r),
+                    status: if failed {
+                        CellStatus::TimedOut
+                    } else {
+                        CellStatus::Ok
+                    },
+                    error: failed.then(|| "deadline".to_string()),
+                    metrics: (!failed).then(|| metrics(g)),
+                    wall_millis: 1,
+                }
+            })
+            .collect();
+        let cell = CellResult::from_replicates(spec.clone(), reps);
+        match survivors {
+            0 => assert!(cell.stats.is_none(), "no survivors, no stats"),
+            1 => {
+                let st = cell.stats.as_ref().unwrap();
+                assert_eq!(st.replicates, 1);
+                for (name, f) in st.named() {
+                    assert_eq!(f.ci95, 0.0, "{name}: a single survivor has no band");
+                    assert_eq!(f.min, f.max, "{name}");
+                }
+            }
+            _ => {
+                let st = cell.stats.as_ref().unwrap();
+                assert_eq!(st.replicates, survivors);
+                for (name, f) in st.named() {
+                    assert!(f.ci95.is_finite() && f.ci95 >= 0.0, "{name}: {}", f.ci95);
+                    assert!(f.mean.is_finite(), "{name}");
+                }
+            }
+        }
     });
 }

@@ -31,4 +31,34 @@ echo "==> determinism: --jobs 1 and --jobs 4 must emit identical reports"
     target/lab-ci-j1/fig7/report.json target/lab-ci-j4/fig7/report.json
 cmp target/lab-ci-j1/fig7/report.csv target/lab-ci-j4/fig7/report.csv
 
+# A faulted sweep exits 1 (failed cells in the report) — that exact code,
+# not 0 (fault silently skipped) and not ≥2 (crash), is the contract.
+expect_failed_cells() {
+    local status=0
+    "$@" >/dev/null 2>&1 || status=$?
+    if [ "$status" -ne 1 ]; then
+        echo "expected exit 1 (failed cells) from: $*  (got $status)" >&2
+        exit 1
+    fi
+}
+
+echo "==> fault injection: panicking cells must not break determinism"
+expect_failed_cells ./target/release/mehpt-lab fig7 --fault 'panic:@2' \
+    --seeds 2 --jobs 4 --quick --max-accesses 20000 --out target/lab-ci-fault-a
+expect_failed_cells ./target/release/mehpt-lab fig7 --fault 'panic:@2' \
+    --seeds 2 --jobs 1 --quick --max-accesses 20000 --out target/lab-ci-fault-b
+./target/release/mehpt-lab diff \
+    target/lab-ci-fault-a/fig7/report.json target/lab-ci-fault-b/fig7/report.json
+
+echo "==> watchdog: a hung cell times out, the sweep still completes"
+expect_failed_cells ./target/release/mehpt-lab fig7 --fault 'hang:gups-mehpt' \
+    --timeout 2 --frag 0.7 --seeds 2 --jobs 4 --quick --max-accesses 20000 \
+    --out target/lab-ci-hang-a
+expect_failed_cells ./target/release/mehpt-lab fig7 --fault 'hang:gups-mehpt' \
+    --timeout 2 --frag 0.7 --seeds 2 --jobs 1 --quick --max-accesses 20000 \
+    --out target/lab-ci-hang-b
+./target/release/mehpt-lab diff \
+    target/lab-ci-hang-a/fig7/report.json target/lab-ci-hang-b/fig7/report.json
+grep -q '"timed_out": 1' target/lab-ci-hang-a/fig7/report.json
+
 echo "CI OK"
