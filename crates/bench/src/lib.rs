@@ -93,6 +93,7 @@ pub fn run_grid(name: &str, grid: &ExperimentGrid) -> LabReport {
     let opts = RunOptions {
         jobs: jobs(),
         seeds: seeds(),
+        retries: 0,
         timeout: None,
     };
     let cells = run_cells(&specs, &opts, &|p| {
@@ -109,6 +110,7 @@ pub fn run_grid(name: &str, grid: &ExperimentGrid) -> LabReport {
         scale: t.scale,
         base_seed: t.base_seed,
         seeds: seeds(),
+        retries: 0,
         timeout_secs: None,
         fault: None,
         cells,

@@ -3,10 +3,18 @@
 //! Kept in the library (rather than the binary) so argument parsing and the
 //! preset-union plumbing are unit-testable. The binary is a two-line shim
 //! around [`parse_command`] / [`run_command`]. Two commands exist: the
-//! (default) sweep runner — presets, `--jobs`, `--seeds`, `--frag` — and
-//! `mehpt-lab diff`, which compares two `report.json` files within
-//! tolerance/CI bands and exits non-zero on drift.
+//! (default) sweep runner — presets, `--jobs`, `--seeds`, `--frag`, plus
+//! the crash-safety knobs `--resume` / `--journal` / `--retries` backed by
+//! [`crate::journal`] — and `mehpt-lab diff`, which compares two
+//! `report.json` files within tolerance/CI bands and exits non-zero on
+//! drift.
+//!
+//! Exit codes are a contract (scripts and CI rely on them): **0** success,
+//! **1** failed/timed-out cells or report drift, **2** usage errors,
+//! **3** I/O or parse errors (an unreadable or corrupt report handed to
+//! `diff`).
 
+use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -17,8 +25,9 @@ use crate::diff::{diff_texts, DiffOptions};
 use crate::engine::{self, Progress, RunOptions, WORKER_THREAD_PREFIX};
 use crate::fault::FaultPlan;
 use crate::grid::{CellSpec, FmfiAxis, Tuning};
+use crate::journal::{self, JournalWriter};
 use crate::presets::{Preset, PRESETS};
-use crate::report::{LabReport, StatusCounts};
+use crate::report::{LabReport, RepResult, StatusCounts};
 
 /// Usage text.
 pub const USAGE: &str = "\
@@ -52,6 +61,15 @@ OPTIONS:
                        seconds; an expired replicate is marked timed_out,
                        its worker is abandoned and the sweep completes
                        (default: off, or the preset's own default)
+    --retries N        re-run each failed/timed_out replicate up to N
+                       extra times under identity-derived retry seeds
+                       (default 0); attempt histories land in the report
+    --resume           replay the result journal before running: intact,
+                       fingerprint-matching replicates are restored and
+                       only the missing ones run; the finished report is
+                       byte-identical to an uninterrupted run
+    --journal PATH     result-journal location (default <out>/sweep.journal);
+                       every sweep writes one as it runs
     --fault SPEC       deterministic fault injection: comma-separated
                        kind:selector rules, kind in {panic,hang,poison},
                        selector an id substring or @N (1-in-N identity
@@ -65,13 +83,20 @@ DIFF OPTIONS:
     --no-ci            ignore 95% CI overlap (flag drift even when the two
                        sweeps' own confidence bands already cover it)
 
-Reports land in <out>/<preset>/report.{json,csv} (written atomically).
-JSON and CSV are pure functions of the cell grid, seeds, timeout and
-fault configuration: --jobs 1 and --jobs 8 emit byte-identical files,
-which `mehpt-lab diff` verifies (timed-out cells record the configured
-deadline, never wall-clock). Exit status: 0 on success (aborted cells are
-modeled outcomes and count as success), 1 if any cell failed or timed
-out / reports drifted, 2 on usage errors.
+Reports land in <out>/<preset>/report.{json,csv} (written atomically and
+fsynced). JSON and CSV are pure functions of the cell grid, seeds,
+timeout, retries and fault configuration: --jobs 1 and --jobs 8 emit
+byte-identical files, which `mehpt-lab diff` verifies (timed-out cells
+record the configured deadline, never wall-clock) — and so does a
+--resume run completed after a crash. Each sweep also appends finished
+replicates to a checksummed journal (see --journal); torn or corrupt
+journal tails are detected and truncated, never trusted.
+
+EXIT STATUS (a contract; scripts may rely on it):
+    0   success (aborted cells are modeled outcomes and count as success)
+    1   at least one cell failed or timed out / reports drifted
+    2   usage errors (unknown flags, bad values)
+    3   I/O or parse errors (unreadable or corrupt report given to diff)
 ";
 
 /// Parsed command line for the sweep runner.
@@ -85,6 +110,13 @@ pub struct LabArgs {
     pub jobs: usize,
     /// Replicates per cell (`--seeds`; clamped to at least 1).
     pub seeds: u32,
+    /// Retry budget per replicate (`--retries`).
+    pub retries: u32,
+    /// Replay the result journal before running (`--resume`).
+    pub resume: bool,
+    /// Journal location override (`--journal`; default
+    /// `<out>/sweep.journal`).
+    pub journal: Option<PathBuf>,
     /// Scale/memory/seed knobs.
     pub tuning: Tuning,
     /// Fragmentation override (`--frag`).
@@ -104,6 +136,9 @@ impl Default for LabArgs {
             list: false,
             jobs: 0,
             seeds: 1,
+            retries: 0,
+            resume: false,
+            journal: None,
             tuning: Tuning::default(),
             frag: None,
             out: PathBuf::from("target/lab"),
@@ -124,6 +159,14 @@ impl LabArgs {
                 .filter_map(|p| p.default_timeout_secs())
                 .min()
         })
+    }
+
+    /// Where this invocation's result journal lives: `--journal` wins,
+    /// else `<out>/sweep.journal`.
+    pub fn journal_path(&self) -> PathBuf {
+        self.journal
+            .clone()
+            .unwrap_or_else(|| self.out.join("sweep.journal"))
     }
 }
 
@@ -221,6 +264,9 @@ pub fn parse_args(args: &[String]) -> Result<LabArgs, String> {
             "--seeds" => {
                 out.seeds = (parse_u64(value("--seeds")?)? as u32).max(1);
             }
+            "--retries" => out.retries = parse_u64(value("--retries")?)? as u32,
+            "--resume" => out.resume = true,
+            "--journal" => out.journal = Some(PathBuf::from(value("--journal")?)),
             "--jobs" => out.jobs = parse_u64(value("--jobs")?)? as usize,
             "--quick" => quick = true,
             "--scale" => {
@@ -329,7 +375,9 @@ pub fn run_command(cmd: &Command) -> i32 {
 }
 
 /// Runs `mehpt-lab diff`: 0 when the reports agree within tolerance,
-/// 1 on drift, 2 when a report cannot be read or parsed.
+/// 1 on drift, 3 when a report cannot be read or parsed (distinct from
+/// the 2 reserved for usage errors, so scripts can tell a truncated
+/// report from a typo).
 pub fn run_diff(args: &DiffArgs) -> i32 {
     let read = |path: &Path| -> Result<String, String> {
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))
@@ -344,7 +392,7 @@ pub fn run_diff(args: &DiffArgs) -> i32 {
         }
         Err(e) => {
             eprintln!("mehpt-lab diff: {e}");
-            2
+            3
         }
     }
 }
@@ -378,11 +426,89 @@ pub fn run(args: &LabArgs) -> i32 {
     if let Some(plan) = &args.fault {
         eprintln!("mehpt-lab: fault injection active: {}", plan.spec());
     }
+    if args.retries > 0 {
+        eprintln!(
+            "mehpt-lab: deterministic retry active: up to {} extra attempt(s) per replicate",
+            args.retries
+        );
+    }
     let opts = RunOptions {
         jobs: args.jobs,
         seeds: args.seeds,
+        retries: args.retries,
         timeout: timeout_secs.map(std::time::Duration::from_secs),
     };
+
+    // The crash-safety layer: every invocation writes a result journal as
+    // replicates finish; `--resume` replays a previous one first. Journal
+    // trouble is reported but never fails the sweep — the journal is a
+    // safety net, not a dependency.
+    let timeout = timeout_secs.map(std::time::Duration::from_secs);
+    let fault_spec = args.fault.as_ref().map(|p| p.spec());
+    let fingerprints: HashMap<String, u64> = union
+        .iter()
+        .map(|s| {
+            (
+                s.id(),
+                journal::fingerprint(s, timeout, args.retries, fault_spec, args.seeds.max(1)),
+            )
+        })
+        .collect();
+    let journal_path = args.journal_path();
+    let mut preloaded: HashMap<(String, u32), RepResult> = HashMap::new();
+    let mut valid_len = 0u64;
+    if args.resume {
+        match journal::read(&journal_path) {
+            Ok(recovered) => {
+                let total = recovered.records.len();
+                if recovered.truncated {
+                    eprintln!(
+                        "mehpt-lab: journal {} has a torn or corrupt tail; keeping the {} intact record(s)",
+                        journal_path.display(),
+                        total
+                    );
+                }
+                for rec in recovered.records {
+                    // Believe a record only if it names a cell of *this*
+                    // sweep, fits the seeds range, and fingerprints to the
+                    // current configuration (last-wins on duplicates).
+                    if rec.replicate < args.seeds.max(1)
+                        && fingerprints.get(&rec.id) == Some(&rec.fingerprint)
+                    {
+                        preloaded.insert((rec.id, rec.replicate), rec.result);
+                    }
+                }
+                valid_len = recovered.valid_len;
+                eprintln!(
+                    "mehpt-lab: restored {} replicate(s) from journal ({} discarded)",
+                    preloaded.len(),
+                    total - preloaded.len()
+                );
+            }
+            Err(e) => eprintln!(
+                "mehpt-lab: cannot read journal {}: {e}; running from scratch",
+                journal_path.display()
+            ),
+        }
+    }
+    if let Some(dir) = journal_path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let mut writer = match if args.resume {
+        JournalWriter::resume(&journal_path, valid_len)
+    } else {
+        JournalWriter::create(&journal_path)
+    } {
+        Ok(w) => Some(w),
+        Err(e) => {
+            eprintln!(
+                "mehpt-lab: cannot write journal {}: {e}; continuing without one",
+                journal_path.display()
+            );
+            None
+        }
+    };
+
     let progress = |p: Progress| {
         let mut err = std::io::stderr().lock();
         let _ = writeln!(
@@ -396,9 +522,27 @@ pub fn run(args: &LabArgs) -> i32 {
         );
     };
     let fault = args.fault.as_ref();
+    let mut on_fresh = |spec: &CellSpec, rep: &RepResult| {
+        if let Some(w) = writer.as_mut() {
+            let id = spec.id();
+            let fp = fingerprints.get(&id).copied().unwrap_or_default();
+            if let Err(e) = w.append(&id, rep.replicate, fp, rep) {
+                eprintln!("mehpt-lab: journal append failed: {e}; disabling the journal");
+                writer = None;
+            }
+        }
+    };
     let results = match args.inject_panic {
-        None => engine::run_cells_injected(&union, &opts, fault, engine::simulate_cell, &progress),
-        Some(app) => engine::run_cells_injected(
+        None => engine::run_cells_persisted(
+            &union,
+            &opts,
+            fault,
+            engine::simulate_cell,
+            &progress,
+            &preloaded,
+            &mut on_fresh,
+        ),
+        Some(app) => engine::run_cells_persisted(
             &union,
             &opts,
             fault,
@@ -409,8 +553,15 @@ pub fn run(args: &LabArgs) -> i32 {
                 engine::simulate_cell(spec)
             },
             &progress,
+            &preloaded,
+            &mut on_fresh,
         ),
     };
+    if let Some(w) = writer.as_mut() {
+        if let Err(e) = w.sync() {
+            eprintln!("mehpt-lab: journal sync failed: {e}");
+        }
+    }
 
     // Index the union's results by identity, then slice a report out for
     // each preset in its own grid order.
@@ -427,6 +578,7 @@ pub fn run(args: &LabArgs) -> i32 {
             scale: args.tuning.scale,
             base_seed: args.tuning.base_seed,
             seeds: args.seeds.max(1),
+            retries: args.retries,
             timeout_secs: timeout_secs.map(|s| s as f64),
             fault: args.fault.as_ref().map(|p| p.spec().to_string()),
             cells,
@@ -472,20 +624,25 @@ fn write_reports(preset: Preset, report: &LabReport, args: &LabArgs) -> std::io:
     Ok(())
 }
 
-/// Writes via a same-directory temp file + rename, so a crash mid-write
-/// (or a concurrent reader) never observes a truncated report.
+/// Writes via a same-directory temp file + fsync + rename, so a crash
+/// mid-write (or a concurrent reader) never observes a truncated report
+/// — and a crash right *after* the rename cannot leave an empty file
+/// behind the new name (the data is durable before it becomes visible).
 fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = PathBuf::from(tmp);
-    std::fs::write(&tmp, contents)?;
-    match std::fs::rename(&tmp, path) {
-        Ok(()) => Ok(()),
-        Err(e) => {
+    let write_synced = |tmp: &Path| -> std::io::Result<()> {
+        let mut f = std::fs::File::create(tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()
+    };
+    write_synced(&tmp)
+        .and_then(|()| std::fs::rename(&tmp, path))
+        .map_err(|e| {
             let _ = std::fs::remove_file(&tmp);
-            Err(e)
-        }
-    }
+            e
+        })
 }
 
 /// Silences the default "thread panicked" message for engine workers: a
@@ -542,6 +699,30 @@ mod tests {
         assert!(parse(&[]).is_err());
         assert!(parse(&["table1", "--frag", "1.5"]).is_err());
         assert!(parse(&["--inject-panic", "nosuch", "table1"]).is_err());
+    }
+
+    #[test]
+    fn resume_retries_and_journal_flags_parse() {
+        let a = parse(&[
+            "fig7",
+            "--resume",
+            "--retries",
+            "2",
+            "--journal",
+            "/tmp/j.bin",
+            "--out",
+            "/tmp/lab",
+        ])
+        .unwrap();
+        assert!(a.resume);
+        assert_eq!(a.retries, 2);
+        assert_eq!(a.journal_path(), PathBuf::from("/tmp/j.bin"));
+        let b = parse(&["fig7", "--out", "/tmp/lab"]).unwrap();
+        assert!(!b.resume);
+        assert_eq!(b.retries, 0);
+        assert_eq!(b.journal_path(), PathBuf::from("/tmp/lab/sweep.journal"));
+        assert!(parse(&["fig7", "--retries"]).is_err());
+        assert!(parse(&["fig7", "--journal"]).is_err());
     }
 
     #[test]
@@ -653,6 +834,7 @@ mod tests {
             scale: t.scale,
             base_seed: t.base_seed,
             seeds: 1,
+            retries: 0,
             timeout_secs: None,
             fault: None,
             cells,
@@ -669,7 +851,8 @@ mod tests {
                 a: dir.join("nope.json"),
                 ..d
             }),
-            2
+            3,
+            "an unreadable report is an I/O error, not a usage error"
         );
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -705,6 +888,7 @@ mod tests {
             scale: t.scale,
             base_seed: t.base_seed,
             seeds: 1,
+            retries: 0,
             timeout_secs: None,
             fault: Some(plan.spec().to_string()),
             cells,

@@ -31,11 +31,25 @@
 //! be cancelled from outside), and a replacement worker is spawned so the
 //! rest of the sweep completes at full parallelism. A late result from an
 //! abandoned worker is discarded, so the timed-out record sticks and
-//! reports stay byte-identical across `--jobs` settings.
+//! reports stay byte-identical across `--jobs` settings. Abandonments are
+//! tallied in the report (`summary.workers_abandoned`) from the records
+//! themselves, so the count is equally deterministic.
 //!
 //! Workers are therefore *detached* threads (not scoped): the runner and
 //! the specs are shared through an [`Arc`], which is what allows the
 //! collector to give up on a worker without joining it.
+//!
+//! # Deterministic retry
+//!
+//! With [`RunOptions::retries`] > 0, a replicate whose attempt ends
+//! `failed` or `timed_out` is re-run up to that many times under
+//! identity-derived retry seeds ([`CellSpec::retry_seed`]; attempt 0 is
+//! the classic replicate seed). The *collector* owns every retry
+//! decision: workers run exactly one attempt per dispatch, so the
+//! per-replicate attempt history ([`AttemptRecord`]) — recorded in the
+//! schema-v4 report — is a pure function of the attempt outcomes, never
+//! of scheduling. Modeled aborts are outcomes, not failures: they are
+//! never retried.
 //!
 //! # Fault injection
 //!
@@ -43,8 +57,20 @@
 //! unit and makes targeted units panic, hang or return poisoned metrics —
 //! deterministically, keyed to the cell identity and an identity-derived
 //! replicate — which is how the isolation guarantees above are tested
-//! rather than merely claimed. See [`crate::fault`].
+//! rather than merely claimed. Plans interact with retry: a plain rule is
+//! a transient fault (attempt 0 only), a `kind*` rule a persistent one
+//! that exhausts the retry budget. See [`crate::fault`].
+//!
+//! # Crash-safe resume
+//!
+//! [`run_cells_persisted`] is the journal-aware entry point: replicates
+//! already present in `preloaded` (replayed from a
+//! [`crate::journal`] result journal) are installed without running
+//! anything, and every freshly finalized replicate is handed to the
+//! `on_fresh` callback — on the collector thread, in completion order —
+//! so the caller can append it to the journal before the sweep moves on.
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
@@ -55,7 +81,7 @@ use mehpt_sim::{SimReport, Simulator};
 
 use crate::fault::{self, FaultKind, FaultPlan};
 use crate::grid::CellSpec;
-use crate::report::{CellMetrics, CellResult, CellStatus, RepResult};
+use crate::report::{AttemptRecord, CellMetrics, CellResult, CellStatus, RepResult};
 
 /// Name prefix of the engine's worker threads. The CLI's panic hook uses
 /// it to mute the default "thread panicked" noise for isolated cells.
@@ -71,7 +97,8 @@ const MONITOR_POLL: Duration = Duration::from_millis(25);
 /// the human-facing progress stream sees them, never the report.
 #[derive(Clone, Debug)]
 pub struct Progress {
-    /// Work units (cell replicates) finished so far (including this one).
+    /// Work units (cell replicates) finished so far (including this one
+    /// and any replicates preloaded from a journal).
     pub done: usize,
     /// Total work units in the sweep (`cells × seeds`).
     pub total: usize,
@@ -80,8 +107,8 @@ pub struct Progress {
     /// The finished replicate's status ([`CellStatus::TimedOut`] when the
     /// watchdog abandoned it).
     pub status: CellStatus,
-    /// Wall-clock milliseconds the replicate took (the configured deadline
-    /// for timed-out units).
+    /// Wall-clock milliseconds the replicate took across its attempts
+    /// (the configured deadline for timed-out ones).
     pub wall_millis: u64,
 }
 
@@ -93,6 +120,10 @@ pub struct RunOptions {
     /// Replicates per cell (each under its identity-derived seed).
     /// `0` is normalized to 1.
     pub seeds: u32,
+    /// Retry budget per replicate: a `failed`/`timed_out` attempt is
+    /// re-run up to this many times under identity-derived retry seeds.
+    /// `0` (the default) keeps the classic single-attempt behavior.
+    pub retries: u32,
     /// Per-unit watchdog deadline. `None` (the default) disables the
     /// watchdog: a hung cell stalls the sweep, exactly as before.
     pub timeout: Option<Duration>,
@@ -103,6 +134,7 @@ impl Default for RunOptions {
         RunOptions {
             jobs: 0,
             seeds: 1,
+            retries: 0,
             timeout: None,
         }
     }
@@ -168,6 +200,17 @@ where
     run_cells_injected(specs, opts, None, runner, progress)
 }
 
+/// Per-unit scheduling state shared between the collector/monitor and the
+/// workers.
+#[derive(Clone, Copy, Default)]
+struct UnitState {
+    /// Start instant and attempt index of the currently running attempt
+    /// (`None` = not started, finished, or abandoned).
+    running: Option<(Instant, u32)>,
+    /// Finalized (or preloaded from a journal): workers skip this unit.
+    done: bool,
+}
+
 /// Shared state between the collector/monitor and the detached workers.
 struct Shared<F> {
     specs: Vec<CellSpec>,
@@ -176,9 +219,11 @@ struct Shared<F> {
     next: AtomicUsize,
     runner: F,
     fault: Option<FaultPlan>,
-    /// Start instant of each currently running unit (index = unit).
-    /// `None` = not started, finished, or already abandoned.
-    started: Mutex<Vec<Option<Instant>>>,
+    /// Retry attempts awaiting a worker, as `(unit, attempt)`. Workers
+    /// drain this before claiming fresh units off the counter.
+    pending_retries: Mutex<Vec<(usize, u32)>>,
+    /// Per-unit scheduling state (index = unit).
+    state: Mutex<Vec<UnitState>>,
 }
 
 /// Runs every cell (× replicates) with an optional [`FaultPlan`] injected
@@ -191,9 +236,10 @@ struct Shared<F> {
 /// *modeled* outcome (the paper's ECPT runs dying above 0.7 FMFI), not a
 /// harness failure. With [`RunOptions::timeout`] set, a unit that exceeds
 /// the deadline is marked [`CellStatus::TimedOut`], its worker abandoned
-/// and replaced (see the module docs). Replicates of one cell are
-/// independent work units; their outcomes fold into the cell's
-/// [`CellResult`] with order-invariant mean/min/max/CI aggregation.
+/// and replaced (see the module docs); with [`RunOptions::retries`] set,
+/// failed/timed-out attempts are deterministically re-run. Replicates of
+/// one cell are independent work units; their outcomes fold into the
+/// cell's [`CellResult`] with order-invariant mean/min/max/CI aggregation.
 pub fn run_cells_injected<F>(
     specs: &[CellSpec],
     opts: &RunOptions,
@@ -204,9 +250,60 @@ pub fn run_cells_injected<F>(
 where
     F: Fn(&CellSpec) -> SimReport + Send + Sync + 'static,
 {
+    run_cells_persisted(
+        specs,
+        opts,
+        fault,
+        runner,
+        progress,
+        &HashMap::new(),
+        &mut |_, _| {},
+    )
+}
+
+/// [`run_cells_injected`] plus the journal hooks: `preloaded` replicates
+/// (keyed by `(cell id, replicate index)`) are installed without running
+/// anything, and every *freshly* finalized replicate is passed to
+/// `on_fresh` (on the collector thread, in completion order) so the
+/// caller can journal it before the sweep moves on. With an empty
+/// `preloaded` map and a no-op `on_fresh` this is exactly
+/// [`run_cells_injected`] — and because preloaded results came from the
+/// same deterministic engine, a resumed sweep's [`CellResult`]s are
+/// identical to an uninterrupted run's.
+pub fn run_cells_persisted<F>(
+    specs: &[CellSpec],
+    opts: &RunOptions,
+    fault: Option<&FaultPlan>,
+    runner: F,
+    progress: &(dyn Fn(Progress) + Sync),
+    preloaded: &HashMap<(String, u32), RepResult>,
+    on_fresh: &mut dyn FnMut(&CellSpec, &RepResult),
+) -> Vec<CellResult>
+where
+    F: Fn(&CellSpec) -> SimReport + Send + Sync + 'static,
+{
     let seeds = opts.effective_seeds() as usize;
+    let retries = opts.retries;
     let units = specs.len() * seeds;
     let jobs = opts.effective_jobs(units);
+
+    let mut slots: Vec<Vec<Option<RepResult>>> =
+        (0..specs.len()).map(|_| vec![None; seeds]).collect();
+    let mut state = vec![UnitState::default(); units];
+    let mut filled = 0usize;
+    if !preloaded.is_empty() {
+        for (ci, spec) in specs.iter().enumerate() {
+            let id = spec.id();
+            for r in 0..seeds {
+                if let Some(rep) = preloaded.get(&(id.clone(), r as u32)) {
+                    slots[ci][r] = Some(rep.clone());
+                    state[ci * seeds + r].done = true;
+                    filled += 1;
+                }
+            }
+        }
+    }
+
     let shared = Arc::new(Shared {
         specs: specs.to_vec(),
         seeds,
@@ -214,14 +311,15 @@ where
         next: AtomicUsize::new(0),
         runner,
         fault: fault.cloned(),
-        started: Mutex::new(vec![None; units]),
+        pending_retries: Mutex::new(Vec::new()),
+        state: Mutex::new(state),
     });
 
     // The collector keeps its own sender alive so the channel never
     // disconnects while replacement workers may still be spawned.
-    let (tx, rx) = mpsc::channel::<(usize, RepResult)>();
+    let (tx, rx) = mpsc::channel::<(usize, u32, RepResult)>();
     let mut spawned = 0usize;
-    let mut spawn_worker = |shared: &Arc<Shared<F>>, tx: &mpsc::Sender<(usize, RepResult)>| {
+    let mut spawn_worker = |shared: &Arc<Shared<F>>, tx: &mpsc::Sender<(usize, u32, RepResult)>| {
         let shared = Arc::clone(shared);
         let tx = tx.clone();
         std::thread::Builder::new()
@@ -230,13 +328,19 @@ where
             .expect("spawn lab worker");
         spawned += 1;
     };
-    for _ in 0..jobs.min(units) {
-        spawn_worker(&shared, &tx);
+    if filled < units {
+        for _ in 0..jobs.min(units) {
+            spawn_worker(&shared, &tx);
+        }
     }
 
-    let mut slots: Vec<Vec<Option<RepResult>>> =
-        (0..specs.len()).map(|_| vec![None; seeds]).collect();
-    let mut filled = 0usize;
+    // Collector-private retry bookkeeping: the attempt index the unit is
+    // currently on (anything else is a stale message from an abandoned
+    // worker), the attempt history, and the accumulated wall time.
+    let mut expected: Vec<u32> = vec![0; units];
+    let mut history: Vec<Vec<AttemptRecord>> = vec![Vec::new(); units];
+    let mut wall: Vec<u64> = vec![0; units];
+
     while filled < units {
         let received = match opts.timeout {
             None => rx.recv().ok(),
@@ -252,27 +356,64 @@ where
                 }
             }
         };
-        let mut finished: Vec<(usize, RepResult)> = Vec::new();
+        // (unit, attempt, result, worker abandoned by the watchdog).
+        let mut finished: Vec<(usize, u32, RepResult, bool)> = Vec::new();
         match received {
-            Some(unit_result) => finished.push(unit_result),
+            Some((u, attempt, result)) => finished.push((u, attempt, result, false)),
             None => {
-                // Monitor tick: abandon every unit past its deadline and
-                // respawn a worker per abandoned slot.
+                // Monitor tick: abandon every unit past its deadline.
                 let timeout = opts.timeout.expect("ticks only happen with a deadline");
-                for u in expired_units(&shared, timeout) {
+                for (u, attempt) in expired_units(&shared, timeout) {
                     let (cell, rep) = (u / seeds, (u % seeds) as u32);
-                    finished.push((u, timed_out(&shared.specs[cell], rep, timeout)));
-                    spawn_worker(&shared, &tx);
+                    let result = timed_out(&shared.specs[cell], rep, attempt, timeout);
+                    finished.push((u, attempt, result, true));
                 }
             }
         }
-        for (u, result) in finished {
+        for (u, attempt, result, abandoned) in finished {
             let (cell, rep) = (u / seeds, (u % seeds) as u32);
-            if slots[cell][rep as usize].is_some() {
-                // A late result from an abandoned worker: the timed-out
-                // record already stands; keep reports deterministic.
+            if slots[cell][rep as usize].is_some() || attempt != expected[u] {
+                // A late or stale result from an abandoned worker: the
+                // record on file stands; keep reports deterministic.
                 continue;
             }
+            wall[u] += result.wall_millis;
+            history[u].push(AttemptRecord {
+                attempt,
+                seed: result.seed,
+                status: result.status,
+                error: result.error.clone(),
+            });
+            if result.status.is_failure() && attempt < retries {
+                // Deterministic retry: the next attempt's seed derives
+                // from the replicate identity and the attempt index, so
+                // the history is independent of scheduling. The fresh
+                // worker both replaces any abandoned thread and keeps the
+                // pool full if the queue already drained.
+                expected[u] = attempt + 1;
+                shared
+                    .pending_retries
+                    .lock()
+                    .unwrap()
+                    .push((u, attempt + 1));
+                spawn_worker(&shared, &tx);
+                continue;
+            }
+            if abandoned {
+                // No retry follows: respawn a worker for the abandoned
+                // slot so the rest of the sweep keeps full parallelism.
+                spawn_worker(&shared, &tx);
+            }
+            let final_rep = RepResult {
+                replicate: rep,
+                seed: result.seed,
+                status: result.status,
+                error: result.error,
+                metrics: result.metrics,
+                wall_millis: wall[u],
+                attempts: std::mem::take(&mut history[u]),
+            };
+            shared.state.lock().unwrap()[u].done = true;
             filled += 1;
             let id = if rep == 0 {
                 specs[cell].id()
@@ -283,10 +424,11 @@ where
                 done: filled,
                 total: units,
                 id,
-                status: result.status,
-                wall_millis: result.wall_millis,
+                status: final_rep.status,
+                wall_millis: final_rep.wall_millis,
             });
-            slots[cell][rep as usize] = Some(result);
+            on_fresh(&specs[cell], &final_rep);
+            slots[cell][rep as usize] = Some(final_rep);
         }
     }
 
@@ -303,28 +445,49 @@ where
         .collect()
 }
 
-/// The detached worker loop: claim a unit, register its start, run it,
-/// deliver the result. Exits when the queue drains or the collector went
-/// away (a late send after abandonment fails harmlessly).
-fn worker<F>(shared: &Shared<F>, tx: &mpsc::Sender<(usize, RepResult)>)
+/// The detached worker loop: take a pending retry or claim a fresh unit,
+/// register its start, run one attempt, deliver the result. Exits when
+/// the queue drains or the collector went away (a late send after
+/// abandonment fails harmlessly).
+fn worker<F>(shared: &Shared<F>, tx: &mpsc::Sender<(usize, u32, RepResult)>)
 where
     F: Fn(&CellSpec) -> SimReport + Send + Sync,
 {
     loop {
-        let u = shared.next.fetch_add(1, Ordering::Relaxed);
-        if u >= shared.units {
-            break;
-        }
+        let (u, attempt) = match shared.pending_retries.lock().unwrap().pop() {
+            Some(job) => job,
+            None => {
+                let u = shared.next.fetch_add(1, Ordering::Relaxed);
+                if u >= shared.units {
+                    break;
+                }
+                (u, 0)
+            }
+        };
         let (cell, rep) = (u / shared.seeds, (u % shared.seeds) as u32);
-        let spec = shared.specs[cell].replicate(rep);
+        {
+            let mut state = shared.state.lock().unwrap();
+            if state[u].done {
+                // Preloaded from a journal: nothing to run.
+                continue;
+            }
+            state[u].running = Some((Instant::now(), attempt));
+        }
+        let spec = shared.specs[cell].replicate_attempt(rep, attempt);
         let kind = shared
             .fault
             .as_ref()
-            .and_then(|p| p.fault_for(&spec.id(), rep, shared.seeds as u32));
-        shared.started.lock().unwrap()[u] = Some(Instant::now());
+            .and_then(|p| p.fault_for(&spec.id(), rep, shared.seeds as u32, attempt));
         let result = execute(&spec, rep, &shared.runner, kind);
-        shared.started.lock().unwrap()[u] = None;
-        if tx.send((u, result)).is_err() {
+        {
+            // Clear only our own registration: a newer attempt of this
+            // unit may already be running under its own deadline.
+            let mut state = shared.state.lock().unwrap();
+            if matches!(state[u].running, Some((_, a)) if a == attempt) {
+                state[u].running = None;
+            }
+        }
+        if tx.send((u, attempt, result)).is_err() {
             break;
         }
     }
@@ -333,25 +496,27 @@ where
 /// Time until the soonest deadline among running units (`None` when no
 /// unit is currently running).
 fn next_expiry<F>(shared: &Shared<F>, timeout: Duration) -> Option<Duration> {
-    let started = shared.started.lock().unwrap();
+    let state = shared.state.lock().unwrap();
     let now = Instant::now();
-    started
+    state
         .iter()
-        .flatten()
-        .map(|s| (*s + timeout).saturating_duration_since(now))
+        .filter_map(|s| s.running)
+        .map(|(start, _)| (start + timeout).saturating_duration_since(now))
         .min()
 }
 
-/// Drains and returns every unit past its deadline, clearing its start
-/// entry so it fires exactly once.
-fn expired_units<F>(shared: &Shared<F>, timeout: Duration) -> Vec<usize> {
-    let mut started = shared.started.lock().unwrap();
+/// Drains and returns every `(unit, attempt)` past its deadline, clearing
+/// its start entry so it fires exactly once.
+fn expired_units<F>(shared: &Shared<F>, timeout: Duration) -> Vec<(usize, u32)> {
+    let mut state = shared.state.lock().unwrap();
     let now = Instant::now();
     let mut expired = Vec::new();
-    for (u, slot) in started.iter_mut().enumerate() {
-        if slot.is_some_and(|s| now.saturating_duration_since(s) >= timeout) {
-            *slot = None;
-            expired.push(u);
+    for (u, slot) in state.iter_mut().enumerate() {
+        if let Some((start, attempt)) = slot.running {
+            if now.saturating_duration_since(start) >= timeout {
+                slot.running = None;
+                expired.push((u, attempt));
+            }
         }
     }
     expired
@@ -360,10 +525,10 @@ fn expired_units<F>(shared: &Shared<F>, timeout: Duration) -> Vec<usize> {
 /// The deterministic record of a unit the watchdog abandoned: status plus
 /// the *configured* deadline. Measured wall-clock never appears, so the
 /// serialized report is identical for every `--jobs` value.
-fn timed_out(spec: &CellSpec, replicate: u32, timeout: Duration) -> RepResult {
+fn timed_out(spec: &CellSpec, replicate: u32, attempt: u32, timeout: Duration) -> RepResult {
     RepResult {
         replicate,
-        seed: spec.replicate_seed(replicate),
+        seed: spec.retry_seed(replicate, attempt),
         status: CellStatus::TimedOut,
         error: Some(format!(
             "replicate exceeded the {}s deadline; worker abandoned",
@@ -371,6 +536,7 @@ fn timed_out(spec: &CellSpec, replicate: u32, timeout: Duration) -> RepResult {
         )),
         metrics: None,
         wall_millis: timeout.as_millis() as u64,
+        attempts: vec![],
     }
 }
 
@@ -403,6 +569,7 @@ where
                 error: report.aborted.clone(),
                 metrics: Some(CellMetrics::from(&report)),
                 wall_millis,
+                attempts: vec![],
             }
         }
         Err(panic) => RepResult {
@@ -412,6 +579,7 @@ where
             error: Some(panic_message(panic.as_ref())),
             metrics: None,
             wall_millis,
+            attempts: vec![],
         },
     }
 }
@@ -589,6 +757,7 @@ mod tests {
             let opts = RunOptions {
                 jobs,
                 seeds: 2,
+                retries: 0,
                 timeout: Some(Duration::from_millis(120)),
             };
             run_cells_with(&specs, &opts, stall, &|_| {})
@@ -630,7 +799,7 @@ mod tests {
         let opts = |jobs| RunOptions {
             jobs,
             seeds: 3,
-            timeout: None,
+            ..RunOptions::default()
         };
         let serial = run_cells_with(&specs, &opts(1), fake_sim, &|_| {});
         let parallel = run_cells_with(&specs, &opts(7), fake_sim, &|_| {});
@@ -668,7 +837,7 @@ mod tests {
         let opts = RunOptions {
             jobs: 4,
             seeds: 2,
-            timeout: None,
+            ..RunOptions::default()
         };
         run_cells_with(&specs, &opts, fake_sim, &|p| {
             seen.lock().unwrap().push((p.total, p.id));
@@ -694,6 +863,178 @@ mod tests {
     fn timeout_labels_are_exact_decimals() {
         assert_eq!(timeout_label(Duration::from_secs(2)), "2");
         assert_eq!(timeout_label(Duration::from_millis(150)), "0.15");
+    }
+
+    /// The seeds every (replicate, attempt-0) unit of `specs` runs under —
+    /// what a transient-failure runner uses to decide when to misbehave.
+    fn attempt0_seeds(specs: &[CellSpec], seeds: u32) -> std::collections::HashSet<u64> {
+        specs
+            .iter()
+            .flat_map(|s| (0..seeds).map(move |r| s.replicate_seed(r)))
+            .collect()
+    }
+
+    #[test]
+    fn a_transient_failure_is_recovered_by_retry_with_history() {
+        let specs = specs();
+        let first_seeds = attempt0_seeds(&specs, 2);
+        let run = |jobs| {
+            let seeds = first_seeds.clone();
+            let flaky = move |spec: &CellSpec| -> SimReport {
+                // Gups panics on every attempt-0 seed; retry seeds differ,
+                // so attempt 1 completes.
+                if spec.app == App::Gups && seeds.contains(&spec.seed) {
+                    panic!("transient failure in {}", spec.id());
+                }
+                fake_sim(spec)
+            };
+            let opts = RunOptions {
+                jobs,
+                seeds: 2,
+                retries: 2,
+                timeout: None,
+            };
+            run_cells_with(&specs, &opts, flaky, &|_| {})
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        let gups: Vec<_> = serial.iter().filter(|c| c.spec.app == App::Gups).collect();
+        assert!(!gups.is_empty());
+        for cell in &gups {
+            assert_eq!(cell.status, CellStatus::Ok, "{}", cell.spec.id());
+            for rep in &cell.replicates {
+                assert_eq!(rep.status, CellStatus::Ok);
+                assert_eq!(rep.attempts.len(), 2, "one failure, one recovery");
+                assert_eq!(rep.attempts[0].status, CellStatus::Failed);
+                assert!(rep.attempts[0]
+                    .error
+                    .as_deref()
+                    .unwrap()
+                    .contains("transient failure"));
+                assert_eq!(rep.attempts[1].status, CellStatus::Ok);
+                assert_eq!(
+                    rep.seed,
+                    cell.spec.retry_seed(rep.replicate, 1),
+                    "the final attempt ran the retry seed"
+                );
+                assert!(rep.metrics.is_some());
+            }
+        }
+        // Healthy cells record a single attempt; histories and outcomes
+        // are byte-identical across the jobs axis.
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.status, b.status, "{}", a.spec.id());
+            assert_eq!(a.metrics, b.metrics);
+            for (ra, rb) in a.replicates.iter().zip(&b.replicates) {
+                assert_eq!(ra.attempts, rb.attempts, "{}", a.spec.id());
+                if a.spec.app != App::Gups {
+                    assert_eq!(ra.attempts.len(), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn a_permanent_failure_exhausts_the_retry_budget() {
+        let specs = specs();
+        let bomb = |spec: &CellSpec| -> SimReport {
+            if spec.app == App::Gups && spec.thp && spec.kind == PtKind::MeHpt {
+                panic!("permanent failure");
+            }
+            fake_sim(spec)
+        };
+        let opts = RunOptions {
+            retries: 2,
+            ..RunOptions::with_jobs(3)
+        };
+        let results = run_cells_with(&specs, &opts, bomb, &|_| {});
+        let failed: Vec<_> = results
+            .iter()
+            .filter(|c| c.status == CellStatus::Failed)
+            .collect();
+        assert_eq!(failed.len(), 1);
+        let rep = &failed[0].replicates[0];
+        assert_eq!(rep.attempts.len(), 3, "original + 2 retries");
+        assert!(rep.attempts.iter().all(|a| a.status == CellStatus::Failed));
+        let seeds: std::collections::HashSet<u64> = rep.attempts.iter().map(|a| a.seed).collect();
+        assert_eq!(seeds.len(), 3, "every attempt ran a distinct seed");
+        // Aborted outcomes are modeled results, never retried: nothing
+        // else in the sweep grew extra attempts.
+        for c in &results {
+            if c.status != CellStatus::Failed {
+                assert!(c.replicates.iter().all(|r| r.attempts.len() == 1));
+            }
+        }
+    }
+
+    #[test]
+    fn preloaded_results_short_circuit_and_fresh_ones_stream_out() {
+        let specs = specs();
+        let opts = RunOptions {
+            seeds: 2,
+            ..RunOptions::with_jobs(4)
+        };
+        let full = run_cells_injected(&specs, &opts, None, fake_sim, &|_| {});
+
+        // Preload roughly half the units from the full run's results.
+        let mut preloaded = HashMap::new();
+        for (ci, cell) in full.iter().enumerate() {
+            for rep in &cell.replicates {
+                if (ci + rep.replicate as usize) % 2 == 0 {
+                    preloaded.insert((cell.spec.id(), rep.replicate), rep.clone());
+                }
+            }
+        }
+        let preloaded_count = preloaded.len();
+        assert!(preloaded_count > 0);
+
+        let mut fresh = Vec::new();
+        let resumed = run_cells_persisted(
+            &specs,
+            &opts,
+            None,
+            fake_sim,
+            &|_| {},
+            &preloaded,
+            &mut |spec, rep| fresh.push((spec.id(), rep.replicate)),
+        );
+        assert_eq!(fresh.len(), 2 * specs.len() - preloaded_count);
+        for (id, r) in &fresh {
+            assert!(
+                !preloaded.contains_key(&(id.clone(), *r)),
+                "{id}#r{r} was preloaded yet ran again"
+            );
+        }
+        // The resumed sweep reproduces the uninterrupted run exactly.
+        for (a, b) in full.iter().zip(&resumed) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.status, b.status);
+            assert_eq!(a.metrics, b.metrics);
+            assert_eq!(a.stats, b.stats);
+        }
+
+        // Preloading *everything* runs nothing at all.
+        let mut all = HashMap::new();
+        for cell in &full {
+            for rep in &cell.replicates {
+                all.insert((cell.spec.id(), rep.replicate), rep.clone());
+            }
+        }
+        let mut ran = 0usize;
+        let replayed = run_cells_persisted(
+            &specs,
+            &opts,
+            None,
+            |spec: &CellSpec| -> SimReport { panic!("nothing should run, tried {}", spec.id()) },
+            &|_| {},
+            &all,
+            &mut |_, _| ran += 1,
+        );
+        assert_eq!(ran, 0);
+        for (a, b) in full.iter().zip(&replayed) {
+            assert_eq!(a.status, b.status);
+            assert_eq!(a.metrics, b.metrics);
+        }
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //!
 //! ```text
 //! spec    := rule (',' rule)*
-//! rule    := kind ':' selector
+//! rule    := kind '*'? ':' selector
 //! kind    := 'panic' | 'hang' | 'poison'
 //! selector:= '@' N          every cell whose identity hash ≡ 0 (mod N)
 //!          | <substring>    every cell whose id contains the substring,
@@ -32,6 +32,11 @@
 //! Examples: `panic:@2` (an identity-chosen half of all cells panic),
 //! `hang:gups-ecpt-nothp-full-n1000000-f00` (that one cell hangs),
 //! `poison:bfs,panic:mummer` (two rules; the first matching rule wins).
+//!
+//! A `*` after the kind makes the rule **persistent**: it fires on every
+//! retry attempt, not just attempt 0 — `panic*:gups` is a replicate that
+//! exhausts its whole `--retries` budget and stays `failed`, while plain
+//! `panic:gups` is a transient fault a single retry recovers from.
 //!
 //! # Fault kinds
 //!
@@ -107,6 +112,8 @@ impl Selector {
 pub struct FaultRule {
     /// The misbehavior to inject.
     pub kind: FaultKind,
+    /// `kind*`: fire on every retry attempt, not just attempt 0.
+    pub persistent: bool,
     selector: Selector,
 }
 
@@ -135,6 +142,10 @@ impl FaultPlan {
             let (kind, selector) = rule
                 .split_once(':')
                 .ok_or_else(|| format!("fault rule without ':': {rule:?} (want kind:selector)"))?;
+            let (kind, persistent) = match kind.strip_suffix('*') {
+                Some(base) => (base, true),
+                None => (kind, false),
+            };
             let kind = FaultKind::parse(kind).ok_or_else(|| {
                 format!("unknown fault kind {kind:?} (want panic, hang or poison)")
             })?;
@@ -149,7 +160,11 @@ impl FaultPlan {
                 }
                 None => Selector::Substring(selector.to_ascii_lowercase()),
             };
-            rules.push(FaultRule { kind, selector });
+            rules.push(FaultRule {
+                kind,
+                persistent,
+                selector,
+            });
         }
         Ok(FaultPlan {
             rules,
@@ -168,16 +183,24 @@ impl FaultPlan {
         (cell_seed(REPLICATE_SEED, id) % u64::from(seeds.max(1))) as u32
     }
 
-    /// The fault to inject into replicate `replicate` of cell `id` when a
-    /// sweep runs `seeds` replicates per cell, or `None` for a healthy
-    /// unit. The first matching rule wins.
-    pub fn fault_for(&self, id: &str, replicate: u32, seeds: u32) -> Option<FaultKind> {
+    /// The fault to inject into retry attempt `attempt` of replicate
+    /// `replicate` of cell `id` when a sweep runs `seeds` replicates per
+    /// cell, or `None` for a healthy unit. The first matching rule wins.
+    /// Non-persistent rules fire on attempt 0 only (a transient fault one
+    /// retry recovers from); `kind*` rules fire on every attempt.
+    pub fn fault_for(
+        &self,
+        id: &str,
+        replicate: u32,
+        seeds: u32,
+        attempt: u32,
+    ) -> Option<FaultKind> {
         if replicate != FaultPlan::fault_replicate(id, seeds) {
             return None;
         }
         self.rules
             .iter()
-            .find(|r| r.selector.selects(id))
+            .find(|r| r.selector.selects(id) && (r.persistent || attempt == 0))
             .map(|r| r.kind)
     }
 }
@@ -271,9 +294,34 @@ mod tests {
             "panic:@0",
             "panic:@x",
             "panic:@2,,",
+            "*:@2",
+            "panic**:@2",
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should not parse");
         }
+    }
+
+    #[test]
+    fn persistent_rules_fire_on_every_attempt_transient_on_the_first() {
+        let transient = FaultPlan::parse("panic:gups").unwrap();
+        let persistent = FaultPlan::parse("panic*:gups").unwrap();
+        assert_eq!(persistent.spec(), "panic*:gups");
+        assert!(persistent.rules[0].persistent);
+        assert!(!transient.rules[0].persistent);
+        let id = "gups-mehpt-nothp-full-n1000000-f70";
+        let fr = FaultPlan::fault_replicate(id, 3);
+        for attempt in 0..4 {
+            let want = (attempt == 0).then_some(FaultKind::Panic);
+            assert_eq!(transient.fault_for(id, fr, 3, attempt), want);
+            assert_eq!(
+                persistent.fault_for(id, fr, 3, attempt),
+                Some(FaultKind::Panic)
+            );
+        }
+        // Retry attempts never widen the targeting: other replicates stay
+        // healthy on every attempt.
+        let other = (fr + 1) % 3;
+        assert_eq!(persistent.fault_for(id, other, 3, 1), None);
     }
 
     #[test]
@@ -281,7 +329,7 @@ mod tests {
         let p = FaultPlan::parse("hang:GUPS-ecpt").unwrap();
         let mut hit = 0;
         for id in ids() {
-            let fault = p.fault_for(&id, FaultPlan::fault_replicate(&id, 1), 1);
+            let fault = p.fault_for(&id, FaultPlan::fault_replicate(&id, 1), 1, 0);
             if id.to_ascii_lowercase().contains("gups-ecpt") {
                 assert_eq!(fault, Some(FaultKind::Hang), "{id}");
                 hit += 1;
@@ -298,7 +346,7 @@ mod tests {
         let hits: Vec<bool> = ids()
             .iter()
             .map(|id| {
-                p.fault_for(id, FaultPlan::fault_replicate(id, 4), 4)
+                p.fault_for(id, FaultPlan::fault_replicate(id, 4), 4, 0)
                     .is_some()
             })
             .collect();
@@ -308,7 +356,7 @@ mod tests {
         let again: Vec<bool> = ids()
             .iter()
             .map(|id| {
-                p.fault_for(id, FaultPlan::fault_replicate(id, 4), 4)
+                p.fault_for(id, FaultPlan::fault_replicate(id, 4), 4, 0)
                     .is_some()
             })
             .collect();
@@ -321,7 +369,7 @@ mod tests {
         for id in ids().iter().take(4) {
             let seeds = 5;
             let firing: Vec<u32> = (0..seeds)
-                .filter(|&r| p.fault_for(id, r, seeds).is_some())
+                .filter(|&r| p.fault_for(id, r, seeds, 0).is_some())
                 .collect();
             assert_eq!(firing, vec![FaultPlan::fault_replicate(id, seeds)]);
         }
@@ -335,11 +383,11 @@ mod tests {
         let gups = "gups-ecpt-nothp-full-n1000000-f70";
         let bfs = "bfs-ecpt-nothp-full-n1000000-f70";
         assert_eq!(
-            p.fault_for(gups, FaultPlan::fault_replicate(gups, 1), 1),
+            p.fault_for(gups, FaultPlan::fault_replicate(gups, 1), 1, 0),
             Some(FaultKind::Poison)
         );
         assert_eq!(
-            p.fault_for(bfs, FaultPlan::fault_replicate(bfs, 1), 1),
+            p.fault_for(bfs, FaultPlan::fault_replicate(bfs, 1), 1, 0),
             Some(FaultKind::Panic)
         );
     }

@@ -246,6 +246,30 @@ impl CellSpec {
             ..self.clone()
         }
     }
+
+    /// The seed of retry attempt `attempt` of replicate `r`.
+    ///
+    /// Attempt 0 *is* the classic replicate seed, so sweeps without
+    /// retries are unchanged; later attempts derive from the replicate
+    /// seed and the attempt index only — independent of `--jobs`, of why
+    /// the earlier attempt failed, and of when the retry was scheduled.
+    pub fn retry_seed(&self, r: u32, attempt: u32) -> u64 {
+        let base = self.replicate_seed(r);
+        if attempt == 0 {
+            base
+        } else {
+            cell_seed(base, &format!("retry-{attempt}"))
+        }
+    }
+
+    /// A copy of this spec re-seeded for attempt `attempt` of replicate
+    /// `r` (what the engine actually simulates under `--retries`).
+    pub fn replicate_attempt(&self, r: u32, attempt: u32) -> CellSpec {
+        CellSpec {
+            seed: self.retry_seed(r, attempt),
+            ..self.clone()
+        }
+    }
 }
 
 /// Derives the deterministic seed of the cell named `id` under `base_seed`.
@@ -418,6 +442,29 @@ mod tests {
         let rep = cell.replicate(2);
         assert_eq!(rep.id(), cell.id(), "replicates share the cell identity");
         assert_ne!(rep.seed, cell.seed);
+    }
+
+    #[test]
+    fn retry_seeds_extend_replicate_seeds_deterministically() {
+        let grid = ExperimentGrid::paper(vec![App::Gups], vec![PtKind::MeHpt], vec![false]);
+        let cell = &grid.expand(&Tuning::quick())[0];
+        for r in 0..3 {
+            assert_eq!(
+                cell.retry_seed(r, 0),
+                cell.replicate_seed(r),
+                "attempt 0 is the classic replicate seed"
+            );
+        }
+        // Distinct across both axes, stable across calls.
+        let seeds: std::collections::HashSet<u64> = (0..4)
+            .flat_map(|r| (0..4).map(move |a| (r, a)))
+            .map(|(r, a)| cell.retry_seed(r, a))
+            .collect();
+        assert_eq!(seeds.len(), 16);
+        assert_eq!(cell.retry_seed(1, 2), cell.retry_seed(1, 2));
+        let spec = cell.replicate_attempt(1, 2);
+        assert_eq!(spec.id(), cell.id(), "attempts share the cell identity");
+        assert_eq!(spec.seed, cell.retry_seed(1, 2));
     }
 
     #[test]

@@ -1,0 +1,523 @@
+//! The crash-safe result journal.
+//!
+//! Sweeps can die: the machine loses power, the process is OOM-killed,
+//! the user hits `^C` mid-run. Without a journal the only artifact is the
+//! report written *after* the last cell finishes, so a crash at 99%
+//! forfeits every completed replicate. The journal fixes that with a
+//! write-ahead log of finished work: as each replicate is finalized, the
+//! collector appends one checksummed record to `<out>/sweep.journal`, and
+//! `--resume` replays the journal on the next run, enqueuing only the
+//! replicates that are missing. Because the engine is deterministic and
+//! results are keyed by identity (never by schedule), a resumed sweep's
+//! report is **byte-identical** to an uninterrupted run's at any
+//! `--jobs` setting.
+//!
+//! # On-disk format (version 1)
+//!
+//! ```text
+//! magic               8 bytes   b"MEHPTJ1\n"
+//! record*             framed records, first is the header
+//!
+//! record := payload_len  u32 LE   (JSON payload size; sanity-capped)
+//!           payload_crc  u32 LE   (CRC-32/IEEE of the payload bytes)
+//!           payload      JSON, UTF-8
+//! ```
+//!
+//! The header record pins `{format_version, schema_version,
+//! model_revision}`. Every later record carries one finalized replicate:
+//! `{id, replicate, fingerprint, result}`, where `result` is the
+//! schema-v4 replicate object (attempt history included) minus
+//! nondeterministic wall-clock time.
+//!
+//! # Recovery semantics
+//!
+//! The reader is paranoid so resume never has to be:
+//!
+//! - a missing file is an empty journal;
+//! - a bad magic or header invalidates the whole file (`valid_len` 0 —
+//!   the writer starts over);
+//! - a record with an implausible length, a CRC mismatch, an unparsable
+//!   payload, or a torn tail (fewer bytes than the frame promises) ends
+//!   the scan *at the last good record*; everything before it is kept,
+//!   and [`JournalWriter::resume`] truncates the tail before appending;
+//! - duplicate `(id, replicate)` keys are last-wins, so a record
+//!   re-written after a partial resume is harmless.
+//!
+//! Corruption therefore costs at most the work past the last good
+//! record — never a panic, never the sweep.
+//!
+//! # Fingerprints
+//!
+//! A journal record is only evidence about the *configuration that
+//! produced it*. Each record carries a [`fingerprint`] — a hash of the
+//! journal format, report schema, simulator model revision, the cell's
+//! full identity (id, seed, scale, memory, access cap) and the
+//! failure-semantics knobs (timeout, retries, and the fault plan when
+//! one is active). `--resume` discards records whose fingerprint does
+//! not match the current invocation, so editing the sweep (or upgrading
+//! the simulator) silently re-runs exactly the cells whose meaning
+//! changed. Growing `--seeds` keeps existing replicates and runs only
+//! the new ones.
+//!
+//! # Durability
+//!
+//! Appends are buffered through the OS and fsynced every
+//! [`SYNC_BATCH`] records (and once at the end of the sweep), bounding
+//! both the fsync overhead and the work a power loss can cost.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::time::Duration;
+
+use mehpt_sim::MODEL_REVISION;
+
+use crate::engine::timeout_label;
+use crate::grid::{cell_seed, CellSpec};
+use crate::json::Json;
+use crate::report::{RepResult, SCHEMA_VERSION};
+
+/// Version of the on-disk journal framing described in the module docs.
+pub const JOURNAL_FORMAT_VERSION: u64 = 1;
+
+/// The 8-byte file magic.
+pub const MAGIC: &[u8; 8] = b"MEHPTJ1\n";
+
+/// Records between fsyncs (plus one final fsync when the sweep ends).
+pub const SYNC_BATCH: usize = 16;
+
+/// Upper bound on a single record payload. A real record is a few
+/// kilobytes; anything claiming more is corruption, not data.
+const MAX_PAYLOAD: u32 = 16 << 20;
+
+/// CRC-32/IEEE lookup table (reflected polynomial 0xEDB88320), built at
+/// compile time so the journal needs no external checksum crate.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                (c >> 1) ^ 0xEDB8_8320
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32/IEEE of `data` (the common `crc32` with check value
+/// `0xCBF43926` for `b"123456789"`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in data {
+        c = (c >> 8) ^ CRC_TABLE[((c ^ b as u32) & 0xFF) as usize];
+    }
+    !c
+}
+
+/// The configuration hash a record must match to be believed on resume.
+///
+/// Covers everything that changes what a "finished replicate" means:
+/// journal format, report schema, simulator model revision, the cell's
+/// identity and sizing, the watchdog deadline, the retry budget, and —
+/// when fault injection is active — the fault spec together with the
+/// seeds count (fault replicate selectors like `@half` depend on it).
+/// Without a fault plan, seeds stay *out* of the hash so growing
+/// `--seeds N` reuses every already-journaled replicate.
+pub fn fingerprint(
+    spec: &CellSpec,
+    timeout: Option<Duration>,
+    retries: u32,
+    fault_spec: Option<&str>,
+    seeds: u32,
+) -> u64 {
+    let timeout = match timeout {
+        Some(t) => timeout_label(t),
+        None => "none".to_string(),
+    };
+    let fault = match fault_spec {
+        Some(f) => format!("fault={f}|seeds={seeds}"),
+        None => "fault=none".to_string(),
+    };
+    let composed = format!(
+        "journal-v{JOURNAL_FORMAT_VERSION}|schema-v{SCHEMA_VERSION}|model-r{MODEL_REVISION}|\
+         {id}|seed={seed}|scale={scale}|mem={mem}|max={max}|timeout={timeout}|retries={retries}|{fault}",
+        id = spec.id(),
+        seed = spec.seed,
+        scale = spec.scale,
+        mem = spec.mem_bytes,
+        max = match spec.max_accesses {
+            Some(n) => n.to_string(),
+            None => "none".to_string(),
+        },
+    );
+    cell_seed(0x4a4f_5552_4e41_4c31, &composed)
+}
+
+/// One recovered replicate record.
+#[derive(Clone, Debug)]
+pub struct JournalRecord {
+    /// The cell identity the replicate belongs to.
+    pub id: String,
+    /// Replicate index within the cell.
+    pub replicate: u32,
+    /// The [`fingerprint`] of the configuration that produced it.
+    pub fingerprint: u64,
+    /// The finalized replicate (journal round-trip: `wall_millis` is 0).
+    pub result: RepResult,
+}
+
+/// What [`read`] salvaged from a journal file.
+#[derive(Debug, Default)]
+pub struct Recovered {
+    /// Every intact record, in file order (callers should apply
+    /// last-wins on the `(id, replicate)` key).
+    pub records: Vec<JournalRecord>,
+    /// File offset just past the last intact record. 0 means the file
+    /// (or its magic/header) is unusable and must be rewritten.
+    pub valid_len: u64,
+    /// True when trailing bytes past `valid_len` were torn or corrupt.
+    pub truncated: bool,
+}
+
+/// Reads and validates a journal. Never fails on *content* — torn or
+/// corrupt data just shortens `valid_len` — and a missing file is an
+/// empty journal; only genuine I/O errors (permissions, hardware)
+/// surface as `Err`.
+pub fn read(path: &Path) -> io::Result<Recovered> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Recovered::default()),
+        Err(e) => return Err(e),
+    };
+    let mut out = Recovered::default();
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        out.truncated = !bytes.is_empty();
+        return Ok(out);
+    }
+    let mut pos = MAGIC.len();
+    let mut header_ok = false;
+    loop {
+        match next_payload(&bytes, pos) {
+            None => break,
+            Some((payload, end)) => {
+                if !header_ok {
+                    // The first record must be a believable header.
+                    if payload.get("format_version").and_then(Json::as_u64)
+                        != Some(JOURNAL_FORMAT_VERSION)
+                    {
+                        out.truncated = true;
+                        return Ok(out);
+                    }
+                    header_ok = true;
+                } else {
+                    match parse_record(&payload) {
+                        Some(rec) => out.records.push(rec),
+                        None => break, // structurally valid frame, alien payload
+                    }
+                }
+                pos = end;
+            }
+        }
+    }
+    out.valid_len = pos as u64;
+    out.truncated = pos < bytes.len();
+    Ok(out)
+}
+
+/// Decodes the frame at `pos`, returning the parsed payload and the
+/// offset just past it — or `None` for a torn tail, an implausible
+/// length, a CRC mismatch, or malformed JSON.
+fn next_payload(bytes: &[u8], pos: usize) -> Option<(Json, usize)> {
+    let frame = bytes.get(pos..pos + 8)?;
+    let len = u32::from_le_bytes(frame[..4].try_into().unwrap());
+    let crc = u32::from_le_bytes(frame[4..].try_into().unwrap());
+    if len == 0 || len > MAX_PAYLOAD {
+        return None;
+    }
+    let payload = bytes.get(pos + 8..pos + 8 + len as usize)?;
+    if crc32(payload) != crc {
+        return None;
+    }
+    let text = std::str::from_utf8(payload).ok()?;
+    let json = Json::parse(text).ok()?;
+    Some((json, pos + 8 + len as usize))
+}
+
+fn parse_record(payload: &Json) -> Option<JournalRecord> {
+    let id = payload.get("id")?.as_str()?.to_string();
+    let replicate = u32::try_from(payload.get("replicate")?.as_u64()?).ok()?;
+    let fingerprint = payload.get("fingerprint")?.as_u64()?;
+    let result = RepResult::from_journal_json(payload.get("result")?).ok()?;
+    Some(JournalRecord {
+        id,
+        replicate,
+        fingerprint,
+        result,
+    })
+}
+
+/// The append side of the journal.
+pub struct JournalWriter {
+    file: File,
+    since_sync: usize,
+}
+
+impl JournalWriter {
+    /// Creates (or truncates) `path` as a fresh journal: magic plus the
+    /// header record, fsynced before any result is appended.
+    pub fn create(path: &Path) -> io::Result<JournalWriter> {
+        let mut file = File::create(path)?;
+        file.write_all(MAGIC)?;
+        let header = Json::obj(vec![
+            ("format_version", Json::UInt(JOURNAL_FORMAT_VERSION)),
+            ("schema_version", Json::UInt(SCHEMA_VERSION)),
+            ("model_revision", Json::UInt(MODEL_REVISION as u64)),
+        ]);
+        write_frame(&mut file, &header)?;
+        file.sync_all()?;
+        Ok(JournalWriter {
+            file,
+            since_sync: 0,
+        })
+    }
+
+    /// Reopens `path` for appending after [`read`] recovered
+    /// `valid_len` bytes: the torn tail (if any) is truncated away
+    /// first. A `valid_len` of 0 falls back to [`JournalWriter::create`].
+    pub fn resume(path: &Path, valid_len: u64) -> io::Result<JournalWriter> {
+        if valid_len == 0 {
+            return JournalWriter::create(path);
+        }
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(valid_len)?;
+        file.sync_all()?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(JournalWriter {
+            file,
+            since_sync: 0,
+        })
+    }
+
+    /// Appends one finalized replicate, fsyncing every [`SYNC_BATCH`]
+    /// appends.
+    pub fn append(
+        &mut self,
+        id: &str,
+        replicate: u32,
+        fingerprint: u64,
+        result: &RepResult,
+    ) -> io::Result<()> {
+        let payload = Json::obj(vec![
+            ("id", Json::Str(id.to_string())),
+            ("replicate", Json::UInt(replicate as u64)),
+            ("fingerprint", Json::UInt(fingerprint)),
+            ("result", result.to_journal_json()),
+        ]);
+        write_frame(&mut self.file, &payload)?;
+        self.since_sync += 1;
+        if self.since_sync >= SYNC_BATCH {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes pending appends to stable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        if self.since_sync > 0 {
+            self.file.sync_data()?;
+            self.since_sync = 0;
+        }
+        Ok(())
+    }
+}
+
+fn write_frame(file: &mut File, payload: &Json) -> io::Result<()> {
+    let text = payload.render();
+    let bytes = text.as_bytes();
+    let len = u32::try_from(bytes.len()).expect("journal payloads are small");
+    file.write_all(&len.to_le_bytes())?;
+    file.write_all(&crc32(bytes).to_le_bytes())?;
+    file.write_all(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{AttemptRecord, CellStatus};
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mehpt-journal-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("sweep.journal")
+    }
+
+    fn rep(replicate: u32, seed: u64) -> RepResult {
+        RepResult {
+            replicate,
+            seed,
+            status: CellStatus::Failed,
+            error: Some("injected".to_string()),
+            metrics: None,
+            wall_millis: 0,
+            attempts: vec![
+                AttemptRecord {
+                    attempt: 0,
+                    seed: seed ^ 1,
+                    status: CellStatus::TimedOut,
+                    error: Some("deadline".to_string()),
+                },
+                AttemptRecord {
+                    attempt: 1,
+                    seed,
+                    status: CellStatus::Failed,
+                    error: Some("injected".to_string()),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn round_trips_records_through_the_file() {
+        let path = temp_path("round-trip");
+        let mut w = JournalWriter::create(&path).unwrap();
+        w.append("cell-a", 0, 77, &rep(0, 1001)).unwrap();
+        w.append("cell-a", 1, 77, &rep(1, 1002)).unwrap();
+        w.append("cell-b", 0, 78, &rep(0, 2001)).unwrap();
+        w.sync().unwrap();
+
+        let got = read(&path).unwrap();
+        assert!(!got.truncated);
+        assert_eq!(got.records.len(), 3);
+        assert_eq!(got.valid_len, std::fs::metadata(&path).unwrap().len());
+        let r = &got.records[1];
+        assert_eq!(
+            (r.id.as_str(), r.replicate, r.fingerprint),
+            ("cell-a", 1, 77)
+        );
+        assert_eq!(r.result, rep(1, 1002));
+
+        // Appending after resume keeps the earlier records intact.
+        let mut w = JournalWriter::resume(&path, got.valid_len).unwrap();
+        w.append("cell-b", 1, 78, &rep(1, 2002)).unwrap();
+        w.sync().unwrap();
+        let got = read(&path).unwrap();
+        assert_eq!(got.records.len(), 4);
+        assert!(!got.truncated);
+    }
+
+    #[test]
+    fn a_torn_tail_is_dropped_and_truncated_on_resume() {
+        let path = temp_path("torn-tail");
+        let mut w = JournalWriter::create(&path).unwrap();
+        w.append("cell-a", 0, 1, &rep(0, 1)).unwrap();
+        w.append("cell-a", 1, 1, &rep(1, 2)).unwrap();
+        w.sync().unwrap();
+        let full = std::fs::metadata(&path).unwrap().len();
+
+        // Tear the file mid-record: the last record loses its tail.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let got = read(&path).unwrap();
+        assert!(got.truncated);
+        assert_eq!(got.records.len(), 1, "only the intact record survives");
+        assert!(got.valid_len < full);
+
+        // Resume truncates the tail and appends cleanly.
+        let mut w = JournalWriter::resume(&path, got.valid_len).unwrap();
+        w.append("cell-a", 1, 1, &rep(1, 2)).unwrap();
+        w.sync().unwrap();
+        let healed = read(&path).unwrap();
+        assert!(!healed.truncated);
+        assert_eq!(healed.records.len(), 2);
+        assert_eq!(healed.records[1].result, rep(1, 2));
+    }
+
+    #[test]
+    fn a_flipped_byte_invalidates_that_record_and_the_rest() {
+        let path = temp_path("flipped-byte");
+        let mut w = JournalWriter::create(&path).unwrap();
+        w.append("cell-a", 0, 1, &rep(0, 1)).unwrap();
+        w.append("cell-a", 1, 1, &rep(1, 2)).unwrap();
+        w.append("cell-a", 2, 1, &rep(2, 3)).unwrap();
+        w.sync().unwrap();
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2; // lands inside the 2nd or 3rd record
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let got = read(&path).unwrap();
+        assert!(got.truncated);
+        assert!(got.records.len() < 3, "the damaged record cannot survive");
+        for r in &got.records {
+            assert_eq!(r.id, "cell-a");
+        }
+    }
+
+    #[test]
+    fn bad_magic_or_header_invalidates_the_whole_file() {
+        let path = temp_path("bad-magic");
+        std::fs::write(&path, b"NOTAJRNL the rest does not matter").unwrap();
+        let got = read(&path).unwrap();
+        assert_eq!(got.valid_len, 0);
+        assert!(got.truncated);
+        assert!(got.records.is_empty());
+
+        // valid_len 0 => resume starts the journal over.
+        let mut w = JournalWriter::resume(&path, 0).unwrap();
+        w.append("cell-a", 0, 9, &rep(0, 1)).unwrap();
+        w.sync().unwrap();
+        let healed = read(&path).unwrap();
+        assert!(!healed.truncated);
+        assert_eq!(healed.records.len(), 1);
+
+        let missing = read(Path::new("/nonexistent/dir/sweep.journal")).unwrap();
+        assert_eq!(missing.valid_len, 0);
+        assert!(missing.records.is_empty());
+        assert!(!missing.truncated);
+    }
+
+    #[test]
+    fn fingerprints_separate_configurations_but_not_seed_growth() {
+        use crate::grid::{ExperimentGrid, Tuning};
+        use mehpt_sim::PtKind;
+        use mehpt_workloads::App;
+        let specs = ExperimentGrid::paper(vec![App::Gups], vec![PtKind::MeHpt], vec![false])
+            .expand(&Tuning::quick());
+        let spec = &specs[0];
+        let base = fingerprint(spec, None, 0, None, 1);
+        assert_eq!(
+            base,
+            fingerprint(spec, None, 0, None, 5),
+            "without faults, growing --seeds must reuse journaled replicates"
+        );
+        assert_ne!(
+            base,
+            fingerprint(spec, Some(Duration::from_secs(2)), 0, None, 1)
+        );
+        assert_ne!(base, fingerprint(spec, None, 2, None, 1));
+        assert_ne!(base, fingerprint(spec, None, 0, Some("panic:gups"), 1));
+        assert_ne!(
+            fingerprint(spec, None, 0, Some("panic:@half"), 2),
+            fingerprint(spec, None, 0, Some("panic:@half"), 4),
+            "fault selectors depend on the seeds count"
+        );
+        let mut other = spec.clone();
+        other.seed ^= 1;
+        assert_ne!(base, fingerprint(&other, None, 0, None, 1));
+    }
+}

@@ -95,6 +95,15 @@ impl Json {
         }
     }
 
+    /// The exact integer value of a `UInt` node (no float coercion —
+    /// counters and seeds must round-trip bit-for-bit).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(n) => Some(*n),
+            _ => None,
+        }
+    }
+
     /// The string value of a `Str` node.
     pub fn as_str(&self) -> Option<&str> {
         match self {

@@ -170,6 +170,13 @@ impl Preset {
             "  (scale {}, base seed {:#x})",
             report.scale, report.base_seed
         );
+        let abandoned = report.workers_abandoned();
+        if abandoned > 0 {
+            let _ = writeln!(
+                out,
+                "  (workers abandoned: {abandoned} — timed-out attempts, see report.json)"
+            );
+        }
         let _ = writeln!(out, "{}", "=".repeat(72));
         match self {
             Preset::Table1 => render_table1(report, &mut out),
@@ -982,6 +989,7 @@ mod tests {
             scale: 1.0,
             base_seed: 0x5eed,
             seeds: 1,
+            retries: 0,
             timeout_secs: None,
             fault: None,
             cells: vec![],
@@ -998,6 +1006,7 @@ mod tests {
             scale: 1.0,
             base_seed: 0,
             seeds: 1,
+            retries: 0,
             timeout_secs: None,
             fault: None,
             cells: vec![],

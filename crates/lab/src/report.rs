@@ -1,14 +1,16 @@
 //! Cell results and the structured sweep report (JSON + CSV).
 //!
-//! Schema v3 (see [`SCHEMA_VERSION`]): a report carries the replication
+//! Schema v4 (see [`SCHEMA_VERSION`]): a report carries the replication
 //! factor (`seeds`), the failure-handling configuration (`timeout_secs`,
-//! the active `fault` spec), each cell lists its per-replicate outcomes
-//! and an aggregated [`CellStats`] block (mean/min/max/95% CI per
-//! headline metric), and the whole document stays a pure function of the
-//! grid, the seeds and that configuration — byte-identical for every
-//! `--jobs` value, diffable with `mehpt-lab diff`. Failure records are
-//! deliberately configuration-shaped: a timed-out replicate serializes
-//! its status and the *configured* deadline, never measured wall-clock.
+//! the active `fault` spec, the retry budget `retries`), each cell lists
+//! its per-replicate outcomes — including the full per-attempt history
+//! when `--retries` re-ran a failed replicate — and an aggregated
+//! [`CellStats`] block (mean/min/max/95% CI per headline metric), and the
+//! whole document stays a pure function of the grid, the seeds and that
+//! configuration — byte-identical for every `--jobs` value, diffable with
+//! `mehpt-lab diff`. Failure records are deliberately
+//! configuration-shaped: a timed-out replicate serializes its status and
+//! the *configured* deadline, never measured wall-clock.
 
 use mehpt_sim::{PtKind, SimReport};
 
@@ -16,11 +18,13 @@ use crate::grid::{CellSpec, Variant};
 use crate::json::Json;
 use crate::stats::CellStats;
 
-/// Version stamp of the serialized JSON report. Bumped to 3 when failure
-/// records landed: the `timed_out` status, the report-level `timeout_secs`
-/// and `fault` fields, and the `summary.timed_out` count. (v2 added
-/// `seeds`, per-cell `replicates` and `stats`.)
-pub const SCHEMA_VERSION: u64 = 3;
+/// Version stamp of the serialized JSON report. Bumped to 4 when retry
+/// support landed: the report-level `retries` budget, per-replicate
+/// `attempts` histories and the `summary.workers_abandoned` count. (v3
+/// added failure records — the `timed_out` status, `timeout_secs`,
+/// `fault` and `summary.timed_out`; v2 added `seeds`, per-cell
+/// `replicates` and `stats`.)
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// How a cell ended.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -53,6 +57,18 @@ impl CellStatus {
     /// opposed to a completed or modeled-abort outcome.
     pub fn is_failure(self) -> bool {
         matches!(self, CellStatus::Failed | CellStatus::TimedOut)
+    }
+
+    /// Parses a label produced by [`CellStatus::label`] (the journal's
+    /// reader side).
+    pub fn parse(label: &str) -> Option<CellStatus> {
+        match label {
+            "ok" => Some(CellStatus::Ok),
+            "aborted" => Some(CellStatus::Aborted),
+            "failed" => Some(CellStatus::Failed),
+            "timed_out" => Some(CellStatus::TimedOut),
+            _ => None,
+        }
     }
 }
 
@@ -161,7 +177,7 @@ impl CellMetrics {
         baseline.cycles_per_access() / self.cycles_per_access()
     }
 
-    fn to_json(&self) -> Json {
+    pub(crate) fn to_json(&self) -> Json {
         Json::obj(vec![
             ("accesses", Json::UInt(self.accesses)),
             ("total_cycles", Json::UInt(self.total_cycles)),
@@ -191,16 +207,114 @@ impl CellMetrics {
             ("data_bytes_nominal", Json::UInt(self.data_bytes_nominal)),
         ])
     }
+
+    pub(crate) fn from_json(v: &Json) -> Result<CellMetrics, String> {
+        let uint = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("metrics: missing integer field {key:?}"))
+        };
+        let num = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("metrics: missing numeric field {key:?}"))
+        };
+        let uints = |key: &str| -> Result<Vec<u64>, String> {
+            v.get(key)
+                .and_then(Json::as_arr)
+                .map(|items| items.iter().filter_map(Json::as_u64).collect::<Vec<u64>>())
+                .ok_or_else(|| format!("metrics: missing array field {key:?}"))
+        };
+        Ok(CellMetrics {
+            accesses: uint("accesses")?,
+            total_cycles: uint("total_cycles")?,
+            base_cycles: uint("base_cycles")?,
+            translation_cycles: uint("translation_cycles")?,
+            fault_cycles: uint("fault_cycles")?,
+            alloc_cycles: uint("alloc_cycles")?,
+            os_pt_cycles: uint("os_pt_cycles")?,
+            faults: uint("faults")?,
+            pages_4k: uint("pages_4k")?,
+            pages_2m: uint("pages_2m")?,
+            tlb_miss_rate: num("tlb_miss_rate")?,
+            walks: uint("walks")?,
+            mean_walk_accesses: num("mean_walk_accesses")?,
+            mean_walk_cycles: num("mean_walk_cycles")?,
+            pt_final_bytes: uint("pt_final_bytes")?,
+            pt_peak_bytes: uint("pt_peak_bytes")?,
+            pt_max_contiguous: uint("pt_max_contiguous")?,
+            way_sizes_4k: uints("way_sizes_4k")?,
+            way_phys_4k: uints("way_phys_4k")?,
+            upsizes_per_way_4k: uints("upsizes_per_way_4k")?,
+            upsizes_per_way_2m: uints("upsizes_per_way_2m")?,
+            moved_fraction_4k: num("moved_fraction_4k")?,
+            kicks_histogram: uints("kicks_histogram")?,
+            l2p_entries_used: uint("l2p_entries_used")?,
+            chunk_switches: uint("chunk_switches")?,
+            data_bytes_nominal: uint("data_bytes_nominal")?,
+        })
+    }
+}
+
+/// One attempt at running a replicate: the retry machinery's audit trail.
+///
+/// Attempt 0 runs the classic replicate seed; retry attempts run
+/// identity-derived retry seeds ([`CellSpec::retry_seed`]). The final
+/// attempt's outcome *is* the replicate's outcome; earlier entries record
+/// what `--retries` recovered from.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttemptRecord {
+    /// Attempt index (0 = the original run).
+    pub attempt: u32,
+    /// The seed this attempt simulated under.
+    pub seed: u64,
+    /// How this attempt ended.
+    pub status: CellStatus,
+    /// Abort reason, caught panic message or watchdog record, when not
+    /// [`CellStatus::Ok`].
+    pub error: Option<String>,
+}
+
+impl AttemptRecord {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("attempt", Json::UInt(self.attempt as u64)),
+            ("seed", Json::UInt(self.seed)),
+            ("status", Json::Str(self.status.label().to_string())),
+            ("error", Json::opt_str(self.error.as_deref())),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<AttemptRecord, String> {
+        let status = v
+            .get("status")
+            .and_then(Json::as_str)
+            .and_then(CellStatus::parse)
+            .ok_or_else(|| "attempt: bad status".to_string())?;
+        Ok(AttemptRecord {
+            attempt: v
+                .get("attempt")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| "attempt: missing index".to_string())? as u32,
+            seed: v
+                .get("seed")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| "attempt: missing seed".to_string())?,
+            status,
+            error: v.get("error").and_then(Json::as_str).map(str::to_string),
+        })
+    }
 }
 
 /// The outcome of one replicate of one cell.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RepResult {
     /// Replicate index (0-based; replicate 0 runs the cell seed itself).
     pub replicate: u32,
-    /// The identity-derived seed this replicate simulated under.
+    /// The identity-derived seed this replicate's *final* attempt
+    /// simulated under (the classic replicate seed unless retried).
     pub seed: u64,
-    /// How this replicate ended.
+    /// How this replicate ended (the final attempt's status).
     pub status: CellStatus,
     /// Abort reason or caught panic message, when not [`CellStatus::Ok`].
     pub error: Option<String>,
@@ -208,16 +322,113 @@ pub struct RepResult {
     pub metrics: Option<CellMetrics>,
     /// Wall-clock milliseconds (progress stream only, never serialized).
     pub wall_millis: u64,
+    /// Full attempt history, in attempt order. An empty vector means a
+    /// single attempt described by the replicate fields themselves (the
+    /// common no-retry case); serialization synthesizes that one entry.
+    pub attempts: Vec<AttemptRecord>,
 }
 
 impl RepResult {
+    /// The attempt history, synthesizing the single-attempt entry when
+    /// [`RepResult::attempts`] is empty. Always non-empty.
+    pub fn attempt_history(&self) -> Vec<AttemptRecord> {
+        if self.attempts.is_empty() {
+            vec![AttemptRecord {
+                attempt: 0,
+                seed: self.seed,
+                status: self.status,
+                error: self.error.clone(),
+            }]
+        } else {
+            self.attempts.clone()
+        }
+    }
+
     fn to_json(&self) -> Json {
         Json::obj(vec![
             ("replicate", Json::UInt(self.replicate as u64)),
             ("seed", Json::UInt(self.seed)),
             ("status", Json::Str(self.status.label().to_string())),
             ("error", Json::opt_str(self.error.as_deref())),
+            (
+                "attempts",
+                Json::Arr(
+                    self.attempt_history()
+                        .iter()
+                        .map(AttemptRecord::to_json)
+                        .collect(),
+                ),
+            ),
         ])
+    }
+
+    /// The journal-record payload: the report-side fields *plus* the full
+    /// metrics block, so a resumed sweep can rebuild stats bit-for-bit.
+    pub(crate) fn to_journal_json(&self) -> Json {
+        Json::obj(vec![
+            ("replicate", Json::UInt(self.replicate as u64)),
+            ("seed", Json::UInt(self.seed)),
+            ("status", Json::Str(self.status.label().to_string())),
+            ("error", Json::opt_str(self.error.as_deref())),
+            (
+                "attempts",
+                Json::Arr(
+                    self.attempt_history()
+                        .iter()
+                        .map(AttemptRecord::to_json)
+                        .collect(),
+                ),
+            ),
+            (
+                "metrics",
+                match &self.metrics {
+                    Some(m) => m.to_json(),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Parses a journal-record payload written by
+    /// [`RepResult::to_journal_json`]. `wall_millis` is zero — it never
+    /// enters the serialized report, so resumed reports stay
+    /// byte-identical to uninterrupted ones.
+    pub(crate) fn from_journal_json(v: &Json) -> Result<RepResult, String> {
+        let status = v
+            .get("status")
+            .and_then(Json::as_str)
+            .and_then(CellStatus::parse)
+            .ok_or_else(|| "replicate: bad status".to_string())?;
+        let attempts = v
+            .get("attempts")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| "replicate: missing attempts".to_string())?
+            .iter()
+            .map(AttemptRecord::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        if attempts.is_empty() {
+            return Err("replicate: empty attempt history".to_string());
+        }
+        let metrics = match v.get("metrics") {
+            None | Some(Json::Null) => None,
+            Some(m) => Some(CellMetrics::from_json(m)?),
+        };
+        Ok(RepResult {
+            replicate: v
+                .get("replicate")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| "replicate: missing index".to_string())?
+                as u32,
+            seed: v
+                .get("seed")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| "replicate: missing seed".to_string())?,
+            status,
+            error: v.get("error").and_then(Json::as_str).map(str::to_string),
+            metrics,
+            wall_millis: 0,
+            attempts,
+        })
     }
 }
 
@@ -350,6 +561,8 @@ pub struct LabReport {
     pub base_seed: u64,
     /// Replicates per cell (`--seeds`; 1 = the classic single-seed sweep).
     pub seeds: u32,
+    /// Retry budget per replicate (`--retries`; 0 = single attempt).
+    pub retries: u32,
     /// The watchdog deadline the sweep ran under, in seconds
     /// ([`None`] = no watchdog). Configuration, not measurement: this is
     /// the only duration that ever enters the serialized report.
@@ -379,6 +592,23 @@ impl LabReport {
     /// the serialized report).
     pub fn total_wall_millis(&self) -> u64 {
         self.cells.iter().map(|c| c.wall_millis).sum()
+    }
+
+    /// Worker threads the watchdog abandoned over the sweep: one per
+    /// timed-out *attempt* across every replicate of every cell. Derived
+    /// from the records — not from runtime events — so the count is
+    /// deterministic and survives a journal resume unchanged.
+    pub fn workers_abandoned(&self) -> u64 {
+        self.cells
+            .iter()
+            .flat_map(|c| &c.replicates)
+            .map(|r| {
+                r.attempt_history()
+                    .iter()
+                    .filter(|a| a.status == CellStatus::TimedOut)
+                    .count() as u64
+            })
+            .sum()
     }
 
     /// Looks up one cell by its grid coordinates (the first match on any
@@ -452,6 +682,7 @@ impl LabReport {
             ("scale", Json::Num(self.scale)),
             ("base_seed", Json::UInt(self.base_seed)),
             ("seeds", Json::UInt(self.seeds as u64)),
+            ("retries", Json::UInt(self.retries as u64)),
             ("timeout_secs", Json::opt_num(self.timeout_secs)),
             ("fault", Json::opt_str(self.fault.as_deref())),
             (
@@ -462,6 +693,7 @@ impl LabReport {
                     ("aborted", Json::UInt(counts.aborted as u64)),
                     ("failed", Json::UInt(counts.failed as u64)),
                     ("timed_out", Json::UInt(counts.timed_out as u64)),
+                    ("workers_abandoned", Json::UInt(self.workers_abandoned())),
                     ("total_cycles", Json::UInt(total_cycles)),
                     ("total_accesses", Json::UInt(total_accesses)),
                 ]),
@@ -476,10 +708,12 @@ impl LabReport {
 
     /// The CSV report: one row per cell with the headline metrics of the
     /// primary replicate plus the aggregate mean/min/max/CI columns
-    /// (schema v2; empty aggregate columns for all-failed cells).
+    /// (empty aggregate columns for all-failed cells). `attempts` totals
+    /// the attempts made across the cell's replicates — it exceeds
+    /// `replicates` exactly when `--retries` re-ran something.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "id,app,kind,thp,variant,graph_nodes,fragmentation,seed,status,replicates,\
+            "id,app,kind,thp,variant,graph_nodes,fragmentation,seed,status,replicates,attempts,\
              accesses,total_cycles,faults,pages_4k,pages_2m,tlb_miss_rate,\
              walks,mean_walk_cycles,pt_final_bytes,pt_peak_bytes,\
              pt_max_contiguous,l2p_entries_used,chunk_switches,\
@@ -496,8 +730,13 @@ impl LabReport {
             let cpa = st.and_then(|st| st.field("cycles_per_access")).copied();
             let cyc = st.and_then(|st| st.field("total_cycles")).copied();
             let peak = st.and_then(|st| st.field("pt_peak_bytes")).copied();
+            let attempts: usize = cell
+                .replicates
+                .iter()
+                .map(|r| r.attempt_history().len())
+                .sum();
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 s.id(),
                 s.app.name(),
                 s.kind.label(),
@@ -508,6 +747,7 @@ impl LabReport {
                 s.seed,
                 cell.status.label(),
                 cell.replicates.len(),
+                attempts,
                 num(m.map(|m| m.accesses)),
                 num(m.map(|m| m.total_cycles)),
                 num(m.map(|m| m.faults)),
@@ -600,6 +840,7 @@ mod tests {
                     error: (i != 0).then(|| "injected, with comma".to_string()),
                     metrics: (i == 0).then(|| fake_metrics(1000)),
                     wall_millis: 12 + i as u64,
+                    attempts: vec![],
                 };
                 CellResult::single(spec, rep)
             })
@@ -609,6 +850,7 @@ mod tests {
             scale: 0.005,
             base_seed: 0x5eed,
             seeds: 1,
+            retries: 0,
             timeout_secs: None,
             fault: None,
             cells,
@@ -622,7 +864,10 @@ mod tests {
         a.cells[0].wall_millis = 1;
         b.cells[0].wall_millis = 99_999;
         assert_eq!(a.to_json(), b.to_json());
-        assert!(a.to_json().contains("\"schema_version\": 3"));
+        assert!(a.to_json().contains("\"schema_version\": 4"));
+        assert!(a.to_json().contains("\"retries\": 0"));
+        assert!(a.to_json().contains("\"workers_abandoned\": 0"));
+        assert!(a.to_json().contains("\"attempts\": ["));
         assert!(a.to_json().contains("\"timeout_secs\": null"));
         assert!(a.to_json().contains("\"fault\": null"));
         assert!(a.to_json().contains("\"timed_out\": 0"));
@@ -646,6 +891,7 @@ mod tests {
                 .then(|| "replicate exceeded the 2s deadline; worker abandoned".to_string()),
             metrics: (!status.is_failure()).then(|| fake_metrics(1000)),
             wall_millis: 2000,
+            attempts: vec![],
         };
         r.cells[0] = CellResult::from_replicates(
             spec.clone(),
@@ -657,6 +903,8 @@ mod tests {
         assert!(json.contains("\"fault\": \"hang:@2\""));
         assert!(json.contains("\"status\": \"timed_out\""));
         assert!(json.contains("\"timed_out\": 1"));
+        assert!(json.contains("\"workers_abandoned\": 1"));
+        assert_eq!(r.workers_abandoned(), 1);
         assert!(json.contains("worker abandoned"));
         let counts = r.counts();
         assert_eq!(counts.timed_out, 1);
@@ -677,6 +925,7 @@ mod tests {
             error: (status == CellStatus::Failed).then(|| "boom".to_string()),
             metrics: (status != CellStatus::Failed).then(|| fake_metrics(cycles)),
             wall_millis: 5,
+            attempts: vec![],
         };
         // Out-of-order arrival, one aborted replicate: still aggregates.
         let cell = CellResult::from_replicates(
@@ -713,7 +962,61 @@ mod tests {
         let r = fake_report();
         let csv = r.to_csv();
         assert_eq!(csv.lines().count(), 1 + r.cells.len());
+        assert!(csv.lines().next().unwrap().contains(",attempts,"));
         assert!(csv.contains("\"injected, with comma\""));
+    }
+
+    #[test]
+    fn attempt_histories_synthesize_serialize_and_round_trip() {
+        // A retried replicate: attempt 0 panicked, attempt 1 succeeded.
+        let retried = RepResult {
+            replicate: 1,
+            seed: 42,
+            status: CellStatus::Ok,
+            error: None,
+            metrics: Some(fake_metrics(1000)),
+            wall_millis: 7,
+            attempts: vec![
+                AttemptRecord {
+                    attempt: 0,
+                    seed: 41,
+                    status: CellStatus::Failed,
+                    error: Some("boom".into()),
+                },
+                AttemptRecord {
+                    attempt: 1,
+                    seed: 42,
+                    status: CellStatus::Ok,
+                    error: None,
+                },
+            ],
+        };
+        let text = retried.to_journal_json().render();
+        let back = RepResult::from_journal_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.attempts, retried.attempts);
+        assert_eq!(back.metrics, retried.metrics);
+        assert_eq!(back.wall_millis, 0, "wall-clock never round-trips");
+        assert_eq!(back.to_journal_json().render(), text);
+
+        // An empty history synthesizes the single classic attempt, and the
+        // parsed form serializes to the very same bytes.
+        let plain = RepResult {
+            replicate: 0,
+            seed: 7,
+            status: CellStatus::TimedOut,
+            error: Some("replicate exceeded the 2s deadline; worker abandoned".into()),
+            metrics: None,
+            wall_millis: 2000,
+            attempts: vec![],
+        };
+        let history = plain.attempt_history();
+        assert_eq!(history.len(), 1);
+        assert_eq!(history[0].status, CellStatus::TimedOut);
+        let text = plain.to_journal_json().render();
+        let back = RepResult::from_journal_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.attempts.len(), 1);
+        assert_eq!(back.to_journal_json().render(), text);
+        assert!(RepResult::from_journal_json(&Json::parse("{}").unwrap()).is_err());
     }
 
     #[test]

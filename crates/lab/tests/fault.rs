@@ -75,27 +75,47 @@ fn spec_for(kind: FaultKind) -> String {
     format!("{}:{TARGET}", kind.label())
 }
 
-fn run(jobs: usize, seeds: u32, fault: Option<&FaultPlan>) -> Vec<CellResult> {
+fn run_retrying(
+    jobs: usize,
+    seeds: u32,
+    retries: u32,
+    fault: Option<&FaultPlan>,
+) -> Vec<CellResult> {
     let timeout = fault.map(|_| TIMEOUT);
     let opts = RunOptions {
         jobs,
         seeds,
+        retries,
         timeout,
     };
     run_cells_injected(&specs(), &opts, fault, fake_sim, &|_| {})
 }
 
-fn report(seeds: u32, fault: Option<&FaultPlan>, cells: Vec<CellResult>) -> String {
+fn run(jobs: usize, seeds: u32, fault: Option<&FaultPlan>) -> Vec<CellResult> {
+    run_retrying(jobs, seeds, 0, fault)
+}
+
+fn report_retrying(
+    seeds: u32,
+    retries: u32,
+    fault: Option<&FaultPlan>,
+    cells: Vec<CellResult>,
+) -> String {
     LabReport {
         preset: "fault-matrix".into(),
         scale: Tuning::quick().scale,
         base_seed: Tuning::quick().base_seed,
         seeds,
+        retries,
         timeout_secs: fault.map(|_| TIMEOUT.as_secs_f64()),
         fault: fault.map(|p| p.spec().to_string()),
         cells,
     }
     .to_json()
+}
+
+fn report(seeds: u32, fault: Option<&FaultPlan>, cells: Vec<CellResult>) -> String {
+    report_retrying(seeds, 0, fault, cells)
 }
 
 /// The per-replicate status a given fault kind must produce.
@@ -235,6 +255,120 @@ fn poison_is_caught_by_diff_against_a_clean_report() {
     let d = mehpt_lab::diff::diff_texts(&clean, &poisoned, &no_ci).unwrap();
     assert!(!d.clean(), "--no-ci must catch replicated poison");
     assert!(d.drifts.iter().any(|x| x.field == "total_cycles"));
+}
+
+#[test]
+fn transient_faults_recover_under_retry_with_recorded_history() {
+    // The acceptance-criteria composition: a plain (transient) fault rule
+    // fires on attempt 0 only, so `--retries 1` turns the injected panic
+    // into an `ok` replicate whose attempt history records the failure —
+    // and a hang into an `ok` replicate that abandoned one worker.
+    for kind in [FaultKind::Panic, FaultKind::Hang] {
+        let plan = FaultPlan::parse(&spec_for(kind)).unwrap();
+        let seeds = 3;
+        let serial = run_retrying(1, seeds, 1, Some(&plan));
+        let parallel = run_retrying(4, seeds, 1, Some(&plan));
+        assert_eq!(
+            report_retrying(seeds, 1, Some(&plan), serial.clone()),
+            report_retrying(seeds, 1, Some(&plan), parallel),
+            "{kind:?}: retried sweeps serialize identically across --jobs"
+        );
+
+        let baseline = run(1, seeds, None);
+        for (cell, base) in serial.iter().zip(&baseline) {
+            let id = cell.spec.id();
+            assert_eq!(cell.status, CellStatus::Ok, "{id}: the retry healed it");
+            if !id.to_ascii_lowercase().contains(TARGET) {
+                // Untouched cells aggregate exactly like the fault-free
+                // baseline. The targeted cell cannot: its healed replicate
+                // ran under the retry seed, so its metrics legitimately
+                // differ from the attempt-0 metrics the baseline carries.
+                assert_eq!(cell.stats, base.stats, "{id}: aggregates match fault-free");
+                continue;
+            }
+            assert_eq!(
+                cell.stats.as_ref().unwrap().replicates,
+                seeds,
+                "{id}: the healed replicate still contributes to the stats"
+            );
+            let fr = FaultPlan::fault_replicate(&id, seeds);
+            for rep in &cell.replicates {
+                if rep.replicate != fr {
+                    assert_eq!(rep.attempt_history().len(), 1, "{id} r{}", rep.replicate);
+                    continue;
+                }
+                assert_eq!(rep.status, CellStatus::Ok, "{id} r{fr}");
+                assert_eq!(rep.attempts.len(), 2, "{id} r{fr}: fault, then recovery");
+                assert_eq!(rep.attempts[0].status, faulted_status(kind));
+                assert_eq!(rep.attempts[1].status, CellStatus::Ok);
+                assert_eq!(
+                    rep.seed,
+                    cell.spec.retry_seed(fr, 1),
+                    "{id} r{fr}: the surviving attempt ran the retry seed"
+                );
+                assert!(rep.metrics.is_some());
+            }
+        }
+
+        // The hang flavor also pins the abandonment count: exactly one
+        // attempt hit the watchdog across the whole sweep.
+        if kind == FaultKind::Hang {
+            let abandoned: u64 = serial
+                .iter()
+                .flat_map(|c| &c.replicates)
+                .flat_map(|r| r.attempt_history())
+                .filter(|a| a.status == CellStatus::TimedOut)
+                .count() as u64;
+            assert_eq!(abandoned, 1);
+        }
+    }
+}
+
+#[test]
+fn persistent_faults_exhaust_the_retry_budget() {
+    // A `kind*` rule fires on *every* attempt: the replicate burns the
+    // whole budget, stays failed/timed_out, and the report carries the
+    // full attempt history — identically at any --jobs.
+    for (kind, spec) in [
+        (FaultKind::Panic, format!("panic*:{TARGET}")),
+        (FaultKind::Hang, format!("hang*:{TARGET}")),
+    ] {
+        let plan = FaultPlan::parse(&spec).unwrap();
+        let retries = 2;
+        let serial = run_retrying(1, 1, retries, Some(&plan));
+        let parallel = run_retrying(4, 1, retries, Some(&plan));
+        assert_eq!(
+            report_retrying(1, retries, Some(&plan), serial.clone()),
+            report_retrying(1, retries, Some(&plan), parallel),
+            "{kind:?}: exhausted sweeps serialize identically across --jobs"
+        );
+
+        let target = serial
+            .iter()
+            .find(|c| c.spec.id().to_ascii_lowercase().contains(TARGET))
+            .unwrap();
+        assert_eq!(target.status, faulted_status(kind), "{}", target.spec.id());
+        let rep = &target.replicates[0];
+        assert_eq!(rep.attempts.len(), 3, "original + 2 retries, all faulted");
+        assert!(rep
+            .attempts
+            .iter()
+            .all(|a| a.status == faulted_status(kind)));
+        let distinct: std::collections::HashSet<u64> =
+            rep.attempts.iter().map(|a| a.seed).collect();
+        assert_eq!(distinct.len(), 3, "every attempt ran its own seed");
+        assert!(rep.metrics.is_none());
+        // Healthy cells never grew extra attempts: one recorded attempt,
+        // and it succeeded on the first try.
+        for c in &serial {
+            if c.spec.id() != target.spec.id() {
+                assert!(c
+                    .replicates
+                    .iter()
+                    .all(|r| r.attempts.len() == 1 && r.attempts[0].status == CellStatus::Ok));
+            }
+        }
+    }
 }
 
 #[test]

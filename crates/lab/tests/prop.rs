@@ -97,6 +97,7 @@ fn cell_results_serialize_identically_for_any_arrival_order() {
                     error: failed.then(|| "injected".to_string()),
                     metrics: (!failed).then(|| metrics(g)),
                     wall_millis: g.below(100),
+                    attempts: vec![],
                 }
             })
             .collect();
@@ -113,6 +114,7 @@ fn cell_results_serialize_identically_for_any_arrival_order() {
                 scale: 1.0,
                 base_seed: 0x5eed,
                 seeds: n,
+                retries: 0,
                 timeout_secs: None,
                 fault: None,
                 cells: vec![cell],
@@ -149,6 +151,7 @@ fn aggregation_over_failed_replicate_subsets_is_order_invariant() {
                     error: failed.then(|| format!("injected {}", status.label())),
                     metrics: (!failed).then(|| metrics(g)),
                     wall_millis: g.below(100),
+                    attempts: vec![],
                 }
             })
             .collect();
@@ -169,6 +172,7 @@ fn aggregation_over_failed_replicate_subsets_is_order_invariant() {
                 scale: 1.0,
                 base_seed: 0x5eed,
                 seeds: n,
+                retries: 0,
                 timeout_secs: Some(2.0),
                 fault: Some("panic:@2".into()),
                 cells: vec![cell],
@@ -203,6 +207,7 @@ fn ci95_degrades_gracefully_under_failures() {
                     error: failed.then(|| "deadline".to_string()),
                     metrics: (!failed).then(|| metrics(g)),
                     wall_millis: 1,
+                    attempts: vec![],
                 }
             })
             .collect();

@@ -45,3 +45,10 @@ pub use config::{PtKind, SimConfig};
 pub use multi::{run_multi, MultiConfig, MultiReport};
 pub use report::SimReport;
 pub use runner::Simulator;
+
+/// Revision counter for the simulator's *model semantics*. Bump it
+/// whenever a change makes previously computed results incomparable
+/// (cost model, allocation policy, walk timing, RNG derivation).
+/// Downstream caches — notably the lab's result journal — key on it, so
+/// a bump deterministically invalidates stale results on `--resume`.
+pub const MODEL_REVISION: u32 = 1;

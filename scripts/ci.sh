@@ -61,4 +61,62 @@ expect_failed_cells ./target/release/mehpt-lab fig7 --fault 'hang:gups-mehpt' \
     target/lab-ci-hang-a/fig7/report.json target/lab-ci-hang-b/fig7/report.json
 grep -q '"timed_out": 1' target/lab-ci-hang-a/fig7/report.json
 
+echo "==> deterministic retry: a transient fault heals, a persistent one exhausts"
+# Plain rule: fires on attempt 0 only, so one retry turns the sweep clean.
+./target/release/mehpt-lab fig7 --fault 'panic:gups-mehpt' --retries 1 \
+    --frag 0.7 --seeds 2 --jobs 4 --quick --max-accesses 20000 \
+    --out target/lab-ci-retry >/dev/null 2>&1
+grep -q '"attempt": 1' target/lab-ci-retry/fig7/report.json
+# Persistent rule (kind*): every attempt faults; the cell stays failed.
+expect_failed_cells ./target/release/mehpt-lab fig7 --fault 'panic*:gups-mehpt' \
+    --retries 1 --frag 0.7 --seeds 2 --jobs 4 --quick --max-accesses 20000 \
+    --out target/lab-ci-retry-exhaust
+grep -q '"failed": 1' target/lab-ci-retry-exhaust/fig7/report.json
+
+echo "==> kill/resume: a SIGKILLed sweep resumes to a byte-identical report"
+rm -rf target/lab-ci-kill target/lab-ci-kill-clean
+KILL_FLAGS=(fig7 --fault 'hang:gups-mehpt' --timeout 2 --frag 0.7 --seeds 2 \
+    --quick --max-accesses 20000)
+expect_failed_cells ./target/release/mehpt-lab "${KILL_FLAGS[@]}" --jobs 1 \
+    --out target/lab-ci-kill-clean
+./target/release/mehpt-lab "${KILL_FLAGS[@]}" --jobs 4 \
+    --out target/lab-ci-kill >/dev/null 2>&1 &
+victim=$!
+# Wait until the journal holds finished work (magic+header is ~100 bytes),
+# then SIGKILL mid-run. The injected hang keeps the victim alive >= 2s.
+for _ in $(seq 1 600); do
+    size=$(stat -c %s target/lab-ci-kill/sweep.journal 2>/dev/null || echo 0)
+    [ "$size" -gt 256 ] && break
+    kill -0 "$victim" 2>/dev/null || break
+    sleep 0.05
+done
+kill -9 "$victim" 2>/dev/null || true
+wait "$victim" 2>/dev/null || true
+expect_failed_cells ./target/release/mehpt-lab "${KILL_FLAGS[@]}" --jobs 4 \
+    --resume --out target/lab-ci-kill
+cmp target/lab-ci-kill-clean/fig7/report.json target/lab-ci-kill/fig7/report.json
+cmp target/lab-ci-kill-clean/fig7/report.csv target/lab-ci-kill/fig7/report.csv
+./target/release/mehpt-lab diff \
+    target/lab-ci-kill-clean/fig7/report.json target/lab-ci-kill/fig7/report.json
+
+echo "==> corrupt journal: a flipped byte is detected, truncated and survived"
+# Flip one byte past the header region of the (complete) journal, then
+# resume: the reader must salvage the intact prefix, re-run the rest, and
+# still land on the byte-identical report.
+printf '\xff' | dd of=target/lab-ci-kill/sweep.journal bs=1 seek=300 \
+    count=1 conv=notrunc status=none
+expect_failed_cells ./target/release/mehpt-lab "${KILL_FLAGS[@]}" --jobs 4 \
+    --resume --out target/lab-ci-kill
+cmp target/lab-ci-kill-clean/fig7/report.json target/lab-ci-kill/fig7/report.json
+
+echo "==> exit-code contract: diff on a truncated report exits 3"
+head -c 200 target/lab-ci-kill-clean/fig7/report.json > target/lab-ci-kill/torn.json
+status=0
+./target/release/mehpt-lab diff target/lab-ci-kill/torn.json \
+    target/lab-ci-kill-clean/fig7/report.json >/dev/null 2>&1 || status=$?
+if [ "$status" -ne 3 ]; then
+    echo "expected exit 3 (I/O or parse error) from diff on a torn report (got $status)" >&2
+    exit 1
+fi
+
 echo "CI OK"

@@ -1,0 +1,223 @@
+//! The headline crash-safety guarantee, end-to-end: a sweep SIGKILLed
+//! mid-run and completed with `--resume` produces a `report.json` /
+//! `report.csv` **byte-identical** to an uninterrupted run — across the
+//! `--jobs` and `--seeds` axes.
+//!
+//! Each run injects a deterministic hang (`--fault hang:gups-mehpt`)
+//! under a 1-second watchdog, which guarantees the process is still alive
+//! while its healthy cells finish and journal — the window where the kill
+//! lands. Even when scheduling noise lets the sweep finish before the
+//! kill, the assertion holds: resume over a *complete* journal is the
+//! byte-identical no-op case.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_mehpt-lab");
+
+/// Flags shared by every run of one matrix configuration; only `--jobs`
+/// and the output directory vary between the clean and resumed runs.
+fn base_args(seeds: u32, out: &Path) -> Vec<String> {
+    [
+        "fig7",
+        "--quick",
+        "--frag",
+        "0.5",
+        "--max-accesses",
+        "2000",
+        "--fault",
+        "hang:gups-mehpt",
+        "--timeout",
+        "1",
+        "--seeds",
+        &seeds.to_string(),
+        "--out",
+        &out.display().to_string(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mehpt-kill-resume-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn read_reports(out: &Path) -> (Vec<u8>, Vec<u8>) {
+    let json = std::fs::read(out.join("fig7/report.json")).expect("report.json exists");
+    let csv = std::fs::read(out.join("fig7/report.csv")).expect("report.csv exists");
+    (json, csv)
+}
+
+/// Runs the sweep to completion and asserts the expected exit code (1:
+/// the hang-faulted cell times out). Returns captured stderr.
+fn run_to_completion(args: Vec<String>) -> String {
+    let output = Command::new(BIN)
+        .args(&args)
+        .stdout(Stdio::null())
+        .output()
+        .expect("spawn mehpt-lab");
+    assert_eq!(
+        output.status.code(),
+        Some(1),
+        "a hang-faulted sweep exits 1 (timed-out cell); stderr:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+/// Starts the sweep, waits until the journal holds at least one result
+/// record past the header, then SIGKILLs the process mid-run.
+fn run_and_kill(args: Vec<String>, journal: &Path) {
+    let mut child = Command::new(BIN)
+        .args(&args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn mehpt-lab");
+    // Magic (8) + header frame (~90) is written immediately; a grown file
+    // means at least one replicate result landed. The injected hang holds
+    // the process open for >= 1s, so the poll has a generous window.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(meta) = std::fs::metadata(journal) {
+            if meta.len() > 256 {
+                break;
+            }
+        }
+        if child.try_wait().expect("poll child").is_some() {
+            // Lost the race: the sweep finished first. Resume over the
+            // complete journal still exercises the byte-identity claim.
+            return;
+        }
+        assert!(Instant::now() < deadline, "journal never grew; hung test?");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    child.kill().expect("SIGKILL mid-run");
+    let _ = child.wait();
+}
+
+fn kill_resume_case(jobs: u32, seeds: u32) {
+    let name = format!("j{jobs}s{seeds}");
+    let clean_out = tmp_dir(&format!("{name}-clean"));
+    let killed_out = tmp_dir(&format!("{name}-killed"));
+
+    // The reference: an uninterrupted single-threaded run.
+    let mut clean_args = base_args(seeds, &clean_out);
+    clean_args.extend(["--jobs".into(), "1".into()]);
+    run_to_completion(clean_args);
+
+    // The victim: same sweep at the requested parallelism, killed once
+    // the journal holds finished work, then completed with --resume.
+    let mut killed_args = base_args(seeds, &killed_out);
+    killed_args.extend(["--jobs".into(), jobs.to_string()]);
+    run_and_kill(killed_args.clone(), &killed_out.join("sweep.journal"));
+    let mut resume_args = killed_args;
+    resume_args.push("--resume".into());
+    let stderr = run_to_completion(resume_args);
+    assert!(
+        stderr.contains("restored") && stderr.contains("from journal"),
+        "--resume must report what it replayed; stderr:\n{stderr}"
+    );
+
+    let (clean_json, clean_csv) = read_reports(&clean_out);
+    let (resumed_json, resumed_csv) = read_reports(&killed_out);
+    assert_eq!(
+        clean_json, resumed_json,
+        "jobs={jobs} seeds={seeds}: resumed report.json must be \
+         byte-identical to the uninterrupted run"
+    );
+    assert_eq!(
+        clean_csv, resumed_csv,
+        "jobs={jobs} seeds={seeds}: resumed report.csv must be \
+         byte-identical to the uninterrupted run"
+    );
+
+    let _ = std::fs::remove_dir_all(&clean_out);
+    let _ = std::fs::remove_dir_all(&killed_out);
+}
+
+#[test]
+fn killed_then_resumed_sweep_is_byte_identical_jobs_1() {
+    kill_resume_case(1, 1);
+}
+
+#[test]
+fn killed_then_resumed_sweep_is_byte_identical_jobs_4() {
+    kill_resume_case(4, 1);
+}
+
+#[test]
+fn killed_then_resumed_sweep_is_byte_identical_jobs_1_seeds_3() {
+    kill_resume_case(1, 3);
+}
+
+#[test]
+fn killed_then_resumed_sweep_is_byte_identical_jobs_4_seeds_3() {
+    kill_resume_case(4, 3);
+}
+
+#[test]
+fn incremental_seed_growth_reuses_journaled_replicates() {
+    // The incremental re-run satellite: a completed --seeds 1 sweep,
+    // resumed at --seeds 3, restores the old replicates (fingerprints
+    // stay valid without a fault plan: seeds is deliberately outside the
+    // hash) and runs only the new ones — byte-identical to a clean
+    // --seeds 3 run. No fault plan here, so no timeout and exit 0.
+    let strip = |args: Vec<String>| -> Vec<String> {
+        // Drop "--fault hang:gups-mehpt --timeout 1" from the shared args.
+        let mut out = Vec::new();
+        let mut skip = false;
+        for a in args {
+            if skip {
+                skip = false;
+                continue;
+            }
+            if a == "--fault" || a == "--timeout" {
+                skip = true;
+                continue;
+            }
+            out.push(a);
+        }
+        out
+    };
+    let run_ok = |args: &[String]| {
+        let output = Command::new(BIN)
+            .args(args)
+            .stdout(Stdio::null())
+            .output()
+            .expect("spawn mehpt-lab");
+        assert_eq!(
+            output.status.code(),
+            Some(0),
+            "stderr:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        String::from_utf8_lossy(&output.stderr).into_owned()
+    };
+
+    let grown_out = tmp_dir("grow-seeds");
+    let clean_out = tmp_dir("grow-clean");
+    run_ok(&strip(base_args(1, &grown_out)));
+    let stderr = {
+        let mut args = strip(base_args(3, &grown_out));
+        args.push("--resume".into());
+        run_ok(&args)
+    };
+    assert!(
+        stderr.contains("restored") && !stderr.contains("restored 0 replicate"),
+        "growing --seeds must reuse the journaled replicates; stderr:\n{stderr}"
+    );
+    run_ok(&strip(base_args(3, &clean_out)));
+    assert_eq!(
+        read_reports(&grown_out).0,
+        read_reports(&clean_out).0,
+        "a seeds-grown resume must serialize exactly like a clean --seeds 3 run"
+    );
+    let _ = std::fs::remove_dir_all(&grown_out);
+    let _ = std::fs::remove_dir_all(&clean_out);
+}
